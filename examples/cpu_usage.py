@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Receive-side CPU usage under a large-message stream (Fig. 9).
+
+Streams 4 MiB messages from node 0 to node 1 and decomposes the receiver's
+CPU time into the paper's three bands — user library, driver (syscalls and
+pinning) and bottom-half receive — with and without I/OAT offload.
+
+Run:  python examples/cpu_usage.py
+"""
+
+from repro import build_testbed
+from repro.units import MiB
+from repro.workloads import run_stream_usage
+
+
+def main() -> None:
+    size = 4 * MiB
+    print(f"Streaming {size >> 20} MiB messages, receiver CPU usage "
+          f"(% of one 2.33 GHz core):\n")
+    print(f"{'mode':>8} | {'user':>6} | {'driver':>6} | {'BH recv':>7} | "
+          f"{'total':>6} | {'MiB/s':>7}")
+    print("-" * 56)
+    for ioat in (False, True):
+        tb = build_testbed(ioat_enabled=ioat, regcache_enabled=False)
+        u = run_stream_usage(tb, size, iterations=8)
+        mode = "I/OAT" if ioat else "memcpy"
+        print(f"{mode:>8} | {u.user_pct:>6.1f} | {u.driver_pct:>6.1f} | "
+              f"{u.bh_pct:>7.1f} | {u.total_pct:>6.1f} | "
+              f"{u.throughput_mib_s:>7.1f}")
+    print("\nPaper: the memcpy path saturates a core (~95 %); overlapped DMA")
+    print("copies drop multi-megabyte streams to ~60 % while raising throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""NAS IS communication kernel over the three stacks (§IV-D).
+
+The paper reports "up to 10 % performance increase on the NAS parallel
+benchmarks, especially on IS which relies on large messages".  This example
+runs the IS bucket-sort kernel — real keys, really histogrammed, really
+exchanged with an Allreduce + Alltoallv, verified globally sorted — on
+2 nodes x 2 processes over MXoE, Open-MX and Open-MX + I/OAT.
+
+Run:  python examples/nas_is_kernel.py
+"""
+
+from repro import build_testbed
+from repro.mpi import create_world
+from repro.workloads import run_nas_is
+
+
+def main() -> None:
+    results = {}
+    for label, stack, cfg in [
+        ("MXoE (native)", "mx", {}),
+        ("Open-MX", "omx", {}),
+        ("Open-MX + I/OAT", "omx", dict(ioat_enabled=True)),
+    ]:
+        tb = build_testbed(stacks=stack, **cfg)
+        comm = create_world(tb, ppn=2)
+        results[label] = run_nas_is(tb, comm, keys_per_rank=1 << 17, iterations=3)
+
+    base = results["Open-MX"].total_time_us
+    print(f"{'stack':>16} | {'total ms':>8} | {'comm ms':>8} | {'sorted':>6} | vs Open-MX")
+    print("-" * 62)
+    for label, r in results.items():
+        gain = 100.0 * (base / r.total_time_us - 1.0)
+        print(f"{label:>16} | {r.total_time_us / 1000:>8.2f} | "
+              f"{r.comm_time_us / 1000:>8.2f} | {'yes' if r.sorted_ok else 'NO':>6} | "
+              f"{gain:+.1f}%")
+    print("\n(The exchange blocks are several hundred kB: the large-message")
+    print(" regime where the paper's copy offload pays off.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: two nodes, one message, with and without I/OAT offload.
+
+Builds the paper's testbed (dual quad-core Clovertown + Myri-10G back to
+back), opens one Open-MX endpoint per node, and ping-pongs messages of a
+few sizes — first with the plain memcpy receive path, then with I/OAT
+asynchronous copy offload — printing the throughput side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_testbed
+from repro.units import KiB, MiB, throughput_mib_s
+
+
+def pingpong(tb, size: int, iterations: int = 5) -> float:
+    """Ping-pong ``size`` bytes; returns one-way throughput in MiB/s."""
+    ep0 = tb.open_endpoint(0, 0)
+    ep1 = tb.open_endpoint(1, 0)
+    core0, core1 = tb.user_core(0), tb.user_core(1)
+    buf0 = ep0.space.alloc(size)
+    buf1 = ep1.space.alloc(size)
+    buf0.fill_pattern(seed=42)
+    marks = {}
+    done = tb.sim.event()
+
+    def node0():
+        for i in range(1 + iterations):  # one warm-up round
+            if i == 1:
+                marks["start"] = tb.sim.now
+            req = yield from ep0.isend(core0, ep1.addr, 0x1, buf0, 0, size)
+            yield from ep0.wait(core0, req)
+            req = yield from ep0.irecv(core0, 0x2, ~0, buf0, 0, size)
+            yield from ep0.wait(core0, req)
+        marks["end"] = tb.sim.now
+        done.succeed()
+
+    def node1():
+        for _ in range(1 + iterations):
+            req = yield from ep1.irecv(core1, 0x1, ~0, buf1, 0, size)
+            yield from ep1.wait(core1, req)
+            req = yield from ep1.isend(core1, ep0.addr, 0x2, buf1, 0, size)
+            yield from ep1.wait(core1, req)
+
+    tb.sim.process(node0())
+    tb.sim.process(node1())
+    tb.sim.run_until(done)
+    assert bytes(buf1.read()) == bytes(buf0.read()), "data corrupted!"
+    return throughput_mib_s(2 * size * iterations, marks["end"] - marks["start"])
+
+
+def main() -> None:
+    sizes = [4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
+    print(f"{'size':>8} | {'Open-MX':>10} | {'Open-MX + I/OAT':>16} | gain")
+    print("-" * 52)
+    for size in sizes:
+        plain = pingpong(build_testbed(), size)
+        ioat = pingpong(build_testbed(ioat_enabled=True), size)
+        gain = 100.0 * (ioat / plain - 1.0)
+        label = f"{size >> 20}MiB" if size >= MiB else f"{size >> 10}KiB"
+        print(f"{label:>8} | {plain:>7.1f} MiB/s | {ioat:>10.1f} MiB/s | {gain:+.0f}%")
+    print("\n(10GbE line rate is 1186 MiB/s; the paper reports 800 -> 1114 MiB/s.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Intra-node communication: the one-copy shm path and I/OAT (Fig. 10).
+
+Ping-pongs a range of message sizes between two processes on one node in
+the three configurations of the paper's Fig. 10:
+
+* both processes on a shared-L2 die, CPU copies (fast while cached);
+* processes on different sockets, CPU copies (flat ~1.2 GiB/s);
+* I/OAT synchronous offload (flat ~2.3 GiB/s beyond 32 kB).
+
+Run:  python examples/shared_memory.py
+"""
+
+from repro.cluster.testbed import build_single_node
+from repro.units import KiB, MiB
+from repro.workloads import run_shm_pingpong
+
+SIZES = [4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB]
+
+
+def main() -> None:
+    print(f"{'size':>8} | {'same die':>10} | {'cross socket':>12} | {'I/OAT':>10}   (MiB/s)")
+    print("-" * 56)
+    for size in SIZES:
+        same = run_shm_pingpong(build_single_node(), size, "same_die")
+        cross = run_shm_pingpong(build_single_node(), size, "cross_socket")
+        ioat = run_shm_pingpong(
+            build_single_node(ioat_enabled=True), size, "same_die"
+        )
+        label = f"{size >> 20}MiB" if size >= MiB else f"{size >> 10}KiB"
+        print(f"{label:>8} | {same:>10.0f} | {cross:>12.0f} | {ioat:>10.0f}")
+    print("\nPaper: ~6 GiB/s shared-cache plateau, ~1.2 GiB/s across sockets,")
+    print("       ~2.3 GiB/s with I/OAT — ~80 % above the uncached CPU copy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Testbed assembly: hosts and the two-node back-to-back configuration."""
+
+from repro.cluster.host import Host
+from repro.cluster.testbed import Testbed, build_testbed
+
+__all__ = ["Host", "Testbed", "build_testbed"]

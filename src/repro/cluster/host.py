@@ -1,0 +1,109 @@
+"""One compute node: CPU complex, memory system, I/OAT engine, NIC, OS.
+
+Reproduces the paper's machines (Fig. 4): two quad-core packages — each
+package is two dual-core dies with a 4 MiB shared L2 — attached through the
+front-side bus to the 5000X chipset, which hosts both the memory controller
+(where NIC DMA and CPU copy traffic contend) and the I/OAT DMA engine.
+
+Core 0 takes the NIC interrupts (BH work); user processes should be placed
+on other cores via :meth:`Host.user_core`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.ethernet.driver import SoftirqEngine
+from repro.ethernet.nic import Nic
+from repro.ethernet.skbuff import SkbuffPool
+from repro.ioat.api import IoatDmaApi
+from repro.ioat.engine import IoatEngine
+from repro.memory.buffers import AddressSpace
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import CacheDirectory
+from repro.memory.copyengine import CpuCopier
+from repro.memory.pinning import Pinner
+from repro.memory.regcache import RegistrationCache
+from repro.params import Platform
+from repro.simkernel.cpu import Core, CpuSet
+from repro.simkernel.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.scheduler import Simulator
+
+_HOST_IDS = itertools.count(1)
+
+
+class Host:
+    """A simulated node of the testbed."""
+
+    def __init__(self, sim: "Simulator", platform: Platform, name: str = "", host_id: int = 0):
+        self.sim = sim
+        self.platform = platform
+        self.params = platform.host
+        self.host_id = host_id if host_id else next(_HOST_IDS)
+        self.name = name or f"node{self.host_id}"
+
+        hp = self.params
+        self.cpus = CpuSet(sim, hp.n_sockets, hp.dies_per_socket, hp.cores_per_die)
+        n_dies = hp.n_sockets * hp.dies_per_socket
+        self.caches = CacheDirectory(hp.cache, n_dies)
+        for core in self.cpus.cores:
+            core.l2cache = self.caches[core.die]
+
+        self.bus = MemoryBus(sim, hp.bus)
+        self.pinner = Pinner(hp)
+        self.copier = CpuCopier(hp, self.bus, self.caches)
+        self.regcache = RegistrationCache(self.pinner, enabled=platform.omx.regcache_enabled)
+
+        self.ioat_engine = IoatEngine(sim, hp.ioat, caches=self.caches)
+        self.ioat = IoatDmaApi(self.ioat_engine)
+
+        self.kernel_space = AddressSpace(f"{self.name}.kernel")
+        self.skb_pool = SkbuffPool(self.kernel_space)
+        self.nic = Nic(
+            sim, platform.nic, mac=self.host_id, pool=self.skb_pool,
+            bus=self.bus, caches=self.caches,
+        )
+        self.softirq = SoftirqEngine(
+            sim, platform.nic, irq_core=self.irq_core,
+            dispatch_cost=hp.interrupt_dispatch_cost,
+        )
+        self.nic.softirq = self.softirq
+        self.softirq.nics.append(self.nic)
+        self.trace = TraceRecorder(sim, enabled=False)
+        self.softirq.trace = self.trace
+        for channel in self.ioat_engine.channels:
+            channel.trace = self.trace
+
+    # -- topology helpers ---------------------------------------------------
+
+    @property
+    def irq_core(self) -> Core:
+        """The core that services NIC interrupts (BH work)."""
+        return self.cpus[0]
+
+    def user_core(self, index: int) -> Core:
+        """The ``index``-th core reserved for user processes (skips the IRQ
+        core)."""
+        return self.cpus[1 + index]
+
+    def core_same_die_pair(self) -> tuple[Core, Core]:
+        """Two cores sharing an L2 (Fig. 10's "same dual-core subchip"),
+        away from the IRQ core's die."""
+        die1 = self.cpus.on_die(1)
+        return die1[0], die1[1]
+
+    def core_cross_socket_pair(self) -> tuple[Core, Core]:
+        """Two cores on different packages (Fig. 10's cross-socket case)."""
+        die1 = self.cpus.on_die(1)  # socket 0
+        remote = self.cpus.on_die(self.params.dies_per_socket)  # socket 1
+        return die1[0], remote[0]
+
+    def user_space(self, label: str) -> AddressSpace:
+        """A fresh user-process address space."""
+        return AddressSpace(f"{self.name}.{label}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name} id={self.host_id}>"

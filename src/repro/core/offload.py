@@ -1,0 +1,160 @@
+"""The copy-offload manager: the heart of the paper's contribution (§III).
+
+For each large-message fragment arriving in the BH, decide:
+
+* **memcpy** — when I/OAT is disabled, the message is below ``ioat_min_msg``
+  (64 kB), or the fragment below ``ioat_min_frag`` (1 kB): copy now on the
+  CPU and free the skbuff immediately.
+* **I/OAT offload** — replace the copy with descriptor submissions (~350 ns
+  each) on the message's assigned DMA channel and release the CPU at once;
+  the skbuff stays alive until the hardware finishes (§III-A, Fig. 6).
+
+Resource tracking (§III-B): pending (skbuff, cookie) pairs are kept per
+message; :meth:`OffloadManager.cleanup` polls the channel once and frees the
+skbuffs of every completed copy.  It is called whenever a new pull block is
+requested and when the retransmission timer fires — bounding the pool of
+queued skbuffs.  ``max_pending_skbuffs`` is a hard cap: beyond it the
+fragment is copied synchronously instead (memory-starvation guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.ethernet.skbuff import Skbuff
+from repro.ioat.api import DmaCookie
+from repro.ioat.channel import DmaChannel
+from repro.memory.buffers import MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.params import OmxConfig
+    from repro.simkernel.cpu import Core
+
+
+@dataclass
+class PendingCopy:
+    """One fragment awaiting asynchronous completion."""
+
+    cookie: DmaCookie
+    skb: Skbuff
+
+
+class MessageOffloadState:
+    """Per-large-message offload context: one DMA channel, pending frags."""
+
+    def __init__(self, channel: DmaChannel):
+        self.channel = channel
+        self.pending: list[PendingCopy] = []
+        self.offloaded_bytes = 0
+        self.copied_bytes = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+
+class OffloadManager:
+    """Decides and executes per-fragment copies for the receive path."""
+
+    def __init__(self, host: "Host", config: "OmxConfig"):
+        self.host = host
+        self.config = config
+        # statistics
+        self.frags_offloaded = 0
+        self.frags_memcpy = 0
+        self.cleanups = 0
+        self.skbuffs_reaped = 0
+        self.starvation_fallbacks = 0
+
+    # -- policy -------------------------------------------------------------
+
+    def new_message_state(self) -> MessageOffloadState:
+        """Per-message context; channels are assigned round-robin per
+        message (§V: one channel per message)."""
+        return MessageOffloadState(self.host.ioat_engine.allocate_channel())
+
+    def should_offload(self, state: MessageOffloadState, msg_len: int, frag_len: int) -> bool:
+        """The §IV-A thresholds."""
+        if not self.config.ioat_enabled or self.config.ignore_bh_copy:
+            return False
+        if msg_len < self.config.ioat_min_msg or frag_len < self.config.ioat_min_frag:
+            return False
+        if state.pending_count >= self.config.max_pending_skbuffs:
+            self.starvation_fallbacks += 1
+            return False
+        return True
+
+    # -- execution (BH context: caller holds the core) ------------------------
+
+    def copy_fragment(
+        self,
+        core: "Core",
+        state: MessageOffloadState,
+        skb: Skbuff,
+        skb_off: int,
+        dst: MemoryRegion,
+        dst_off: int,
+        length: int,
+        msg_len: int,
+    ) -> Generator:
+        """Copy one fragment by the chosen mechanism.
+
+        Returns True if the fragment was offloaded (skbuff retained), False
+        if it was copied synchronously (skbuff freed by the caller).
+        """
+        if self.config.ignore_bh_copy:
+            # Fig. 3 prediction mode: the copy is skipped entirely.
+            return False
+        if self.should_offload(state, msg_len, length):
+            cookie = yield from self.host.ioat.submit_copy(
+                core, skb.head, skb_off, dst, dst_off, length, "bh",
+                channel=state.channel,
+            )
+            state.pending.append(PendingCopy(cookie, skb))
+            state.offloaded_bytes += length
+            self.frags_offloaded += 1
+            return True
+        yield from self.host.copier.memcpy(
+            core, skb.head, skb_off, dst, dst_off, length, "bh"
+        )
+        state.copied_bytes += length
+        self.frags_memcpy += 1
+        return False
+
+    def cleanup(self, core: "Core", state: MessageOffloadState) -> Generator:
+        """§III-B cleanup routine: poll once, free completed skbuffs.
+
+        Invoked when a new block request is sent and when the retransmit
+        timer expires.  Returns the number of skbuffs released.
+        """
+        if not state.pending:
+            return 0
+        yield from self.host.ioat.poll_once(core, state.channel, "bh")
+        self.cleanups += 1
+        done = state.channel.poll()
+        freed = 0
+        while state.pending and state.pending[0].cookie.last_cookie <= done:
+            entry = state.pending.pop(0)
+            entry.skb.free()
+            freed += 1
+        self.skbuffs_reaped += freed
+        state.channel.reap()
+        return freed
+
+    def wait_all(self, core: "Core", state: MessageOffloadState) -> Generator:
+        """Last-fragment path (§III-A): busy-poll until every pending copy
+        of this message completed, then free the remaining skbuffs."""
+        if not state.pending:
+            return 0
+        last = state.pending[-1].cookie
+        yield from self.host.ioat.busy_wait(core, last, "bh")
+        freed = 0
+        for entry in state.pending:
+            entry.skb.free()
+            freed += 1
+        state.pending.clear()
+        self.skbuffs_reaped += freed
+        state.channel.reap()
+        return freed

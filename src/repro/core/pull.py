@@ -1,0 +1,113 @@
+"""Receiver-side pull protocol for large messages (§II-B, §III).
+
+After the user libraries shake hands with a rendezvous, the *receiver's
+driver* owns the transfer: it requests the message in blocks of 8 fragments
+and keeps two blocks outstanding ("two pipelined blocks of 8 fragments are
+outstanding for each large message under normal circumstances", §III-B).
+Each PULL_REPLY fragment is copied — or offload-submitted — straight into
+the pinned destination region; only the very last fragment triggers a
+user-visible event, which is what makes the asynchronous overlap of Fig. 6
+legal.
+
+Lost replies are handled by a per-pull watchdog: if no progress happened for
+``retransmit_timeout``, every incomplete outstanding block is re-requested
+(and the §III-B cleanup routine runs, as in the real implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.offload import MessageOffloadState
+from repro.core.types import OmxRequest
+from repro.memory.pinning import PinnedRegion
+from repro.mx.wire import EndpointAddr
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class BlockState:
+    """Progress of one pull block."""
+
+    index: int
+    offset: int
+    length: int
+    received: int = 0
+    requested: bool = False
+    #: offsets already seen (duplicate-reply filtering)
+    seen_offsets: set[int] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return self.received >= self.length
+
+
+class PullHandle:
+    """Driver state for one large incoming message."""
+
+    def __init__(
+        self,
+        handle_id: int,
+        req: OmxRequest,
+        peer: EndpointAddr,
+        msg_id: int,
+        total: int,
+        block_bytes: int,
+        offload: MessageOffloadState,
+        pinned: Optional[PinnedRegion],
+    ):
+        self.id = handle_id
+        self.req = req
+        self.peer = peer
+        self.msg_id = msg_id
+        self.total = total
+        self.block_bytes = block_bytes
+        self.offload = offload
+        self.pinned = pinned
+        self.blocks: list[BlockState] = []
+        off = 0
+        idx = 0
+        while off < total:
+            n = min(block_bytes, total - off)
+            self.blocks.append(BlockState(idx, off, n))
+            off += n
+            idx += 1
+        self.received = 0
+        self.last_progress = 0
+        self.done = False
+        self.retransmits = 0
+
+    # -- geometry -------------------------------------------------------------
+
+    def block_of(self, offset: int) -> BlockState:
+        return self.blocks[offset // self.block_bytes]
+
+    def next_unrequested(self) -> Optional[BlockState]:
+        for b in self.blocks:
+            if not b.requested:
+                return b
+        return None
+
+    def outstanding_incomplete(self) -> list[BlockState]:
+        """Requested but incomplete blocks (watchdog re-request targets)."""
+        return [b for b in self.blocks if b.requested and not b.complete]
+
+    # -- progress ---------------------------------------------------------------
+
+    def note_fragment(self, offset: int, length: int, now: int) -> bool:
+        """Record an arriving reply fragment.  Returns False for duplicates."""
+        block = self.block_of(offset)
+        if offset in block.seen_offsets:
+            return False
+        block.seen_offsets.add(offset)
+        block.received += length
+        self.received += length
+        self.last_progress = now
+        return True
+
+    @property
+    def complete(self) -> bool:
+        return self.received >= self.total

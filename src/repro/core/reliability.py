@@ -1,0 +1,162 @@
+"""Seqnum / ack / retransmit sessions for eager and control packets.
+
+Ethernet gives no delivery guarantee, so Open-MX runs its own lightweight
+reliability for everything that is not covered by the pull protocol's own
+block re-requests: tiny/small/medium fragments, rendezvous announcements and
+completion notifies.
+
+Design (modelled on the real liback machinery):
+
+* every reliable packet carries a per-session (src endpoint → dst endpoint)
+  sequence number;
+* the receiver remembers recently-seen seqnums (dedup) and acknowledges
+  cumulatively — piggybacked on any outbound packet to the same peer, with a
+  delayed explicit ACK as fallback;
+* the sender keeps unacked packets (tiny/small keep their skbuff copy,
+  mediums re-reference user pages) and retransmits after
+  ``retransmit_timeout``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.mx.wire import EndpointAddr, MxPacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.scheduler import Simulator
+
+#: give up after this many retransmissions of one packet
+MAX_RETRIES = 8
+
+#: delayed-ack latency when no return traffic piggybacks the ack
+DELAYED_ACK = 20_000  # 20 µs
+
+
+@dataclass
+class _Pending:
+    packet: MxPacket
+    first_sent: int
+    retries: int = 0
+
+
+class TxSession:
+    """Sender half: assigns seqnums, holds packets until acked."""
+
+    def __init__(self, sim: "Simulator", peer: EndpointAddr,
+                 resend: Callable[[MxPacket], None], timeout: int):
+        self.sim = sim
+        self.peer = peer
+        self.resend = resend
+        self.timeout = timeout
+        self.next_seq = 0
+        self.pending: dict[int, _Pending] = {}
+        self._timer_running = False
+        self.retransmissions = 0
+        self.dead: list[MxPacket] = []
+        #: callbacks fired when a given seqnum is acked
+        self._ack_watchers: dict[int, list[Callable[[], None]]] = {}
+
+    def stamp(self, pkt: MxPacket) -> int:
+        """Assign the next seqnum and track the packet until acked."""
+        pkt.seqnum = self.next_seq
+        self.next_seq += 1
+        self.pending[pkt.seqnum] = _Pending(pkt, self.sim.now)
+        self._arm_timer()
+        return pkt.seqnum
+
+    def on_ack(self, ack_seqnum: int) -> None:
+        """Cumulative ack: everything <= ack_seqnum is delivered."""
+        for seq in [s for s in self.pending if s <= ack_seqnum]:
+            del self.pending[seq]
+            for cb in self._ack_watchers.pop(seq, ()):
+                cb()
+
+    def watch_ack(self, seqnum: int, cb: Callable[[], None]) -> None:
+        """Run ``cb`` once ``seqnum`` is acked (fires immediately if gone)."""
+        if seqnum not in self.pending:
+            cb()
+        else:
+            self._ack_watchers.setdefault(seqnum, []).append(cb)
+
+    def _arm_timer(self) -> None:
+        if self._timer_running:
+            return
+        self._timer_running = True
+        self.sim.daemon(self._timer(), name=f"retx-{self.peer}")
+
+    def _timer(self) -> Generator:
+        while self.pending:
+            yield self.sim.timeout(self.timeout)
+            now = self.sim.now
+            for seq in sorted(self.pending):
+                entry = self.pending[seq]
+                if now - entry.first_sent < self.timeout:
+                    continue
+                if entry.retries >= MAX_RETRIES:
+                    self.dead.append(entry.packet)
+                    del self.pending[seq]
+                    continue
+                entry.retries += 1
+                entry.first_sent = now
+                self.retransmissions += 1
+                self.resend(entry.packet)
+        self._timer_running = False
+
+
+class RxSession:
+    """Receiver half: duplicate filtering and cumulative-ack generation.
+
+    Delivery is accepted in any order; ``cumulative`` tracks the highest
+    seqnum below which everything has been seen (the value piggybacked on
+    outbound traffic).
+    """
+
+    def __init__(self, sim: "Simulator", owner: EndpointAddr, peer: EndpointAddr,
+                 send_ack: Callable[[EndpointAddr, EndpointAddr, int], None]):
+        self.sim = sim
+        #: the local endpoint this session belongs to (ACK source address)
+        self.owner = owner
+        self.peer = peer
+        self.send_ack = send_ack
+        self._seen: set[int] = set()
+        self.cumulative = -1
+        self._ack_scheduled = False
+        self._acked_up_to = -1
+        self.duplicates = 0
+
+    def accept(self, pkt: MxPacket) -> bool:
+        """True if this packet is new (deliver it); False for duplicates."""
+        seq = pkt.seqnum
+        if seq < 0:
+            return True  # unsequenced packet (pull traffic)
+        if seq <= self.cumulative or seq in self._seen:
+            self.duplicates += 1
+            self._schedule_ack()  # re-ack so the sender stops resending
+            return False
+        self._seen.add(seq)
+        while (self.cumulative + 1) in self._seen:
+            self.cumulative += 1
+            self._seen.remove(self.cumulative)
+        self._schedule_ack()
+        return True
+
+    def piggyback(self) -> int:
+        """Cumulative ack value to embed in an outbound packet."""
+        self._acked_up_to = self.cumulative
+        return self.cumulative
+
+    def _schedule_ack(self) -> None:
+        if self._ack_scheduled:
+            return
+        self._ack_scheduled = True
+
+        def delayed() -> Generator:
+            yield self.sim.timeout(DELAYED_ACK)
+            self._ack_scheduled = False
+            if self.cumulative > self._acked_up_to:
+                self._acked_up_to = self.cumulative
+                self.send_ack(self.owner, self.peer, self.cumulative)
+
+        self.sim.daemon(delayed(), name=f"delack-{self.peer}")

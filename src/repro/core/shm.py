@@ -1,0 +1,155 @@
+"""Intra-node (shared-memory) communication (§III-C, Fig. 10).
+
+Open-MX routes local traffic through the same driver commands as network
+traffic — "the driver automatically switches from regular to local
+communication without needing any specific support in user-space" (§V).
+
+* Small/medium local messages: the sender's syscall copies the data
+  straight into the destination endpoint's eager ring (kernel can address
+  both processes); the receiving library copies it out — the usual
+  two-copy eager path, but with no wire in between.
+* Large local messages use the **one-copy** model: a rendezvous event is
+  posted to the receiver; when the library matches it, a pull command makes
+  the driver copy directly from the source process's (pinned) pages into
+  the destination buffer within a single system call — with a plain memcpy,
+  or with *synchronous* I/OAT copies (submit all descriptors, busy-poll for
+  completion) when enabled and the message is at least ``shm_ioat_min``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.types import EvType, OmxEvent, OmxRequest
+from repro.mx.wire import EndpointAddr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.driver import OmxDriver
+    from repro.core.endpoint import OmxEndpoint
+    from repro.simkernel.cpu import Core
+
+
+@dataclass
+class _LocalSend:
+    req: OmxRequest
+    endpoint: "OmxEndpoint"
+
+
+class ShmEngine:
+    """Driver-internal local delivery."""
+
+    def __init__(self, driver: "OmxDriver"):
+        self.driver = driver
+        self.host = driver.host
+        self.config = driver.config
+        self.params = driver.params
+        self._msg_ids = itertools.count()
+        self._pending: dict[int, _LocalSend] = {}
+        # statistics
+        self.local_eager = 0
+        self.local_large = 0
+        self.ioat_copies = 0
+
+    # -- syscall-context commands -------------------------------------------------
+
+    def cmd_send_local(self, core: "Core", ep: "OmxEndpoint", req: OmxRequest) -> Generator:
+        """Local send: eager-copy into the peer ring or post a rendezvous."""
+        dest_ep = self.driver.endpoints.get(req.peer.endpoint)
+        if dest_ep is None:
+            raise ValueError(f"no local endpoint {req.peer.endpoint}")
+        yield from self.driver._enter_syscall(core)
+        try:
+            req.msg_id = next(self._msg_ids)
+            if req.length < self.config.shm_large_threshold:
+                yield from self._eager_local(core, ep, dest_ep, req)
+            else:
+                self._pending[req.msg_id] = _LocalSend(req, ep)
+                dest_ep.post_event(OmxEvent(
+                    EvType.RNDV_LOCAL, peer=ep.addr, match_info=req.match_info,
+                    msg_id=req.msg_id, msg_len=req.length,
+                ))
+                self.local_large += 1
+        finally:
+            core.res.release()
+        return None
+
+    def _eager_local(self, core: "Core", ep: "OmxEndpoint",
+                     dest_ep: "OmxEndpoint", req: OmxRequest) -> Generator:
+        """Two-copy local path: kernel copies into the peer's eager ring."""
+        frag = self.config.medium_frag
+        count = max(1, -(-req.length // frag))
+        for i in range(count):
+            off = i * frag
+            n = min(frag, req.length - off)
+            slot = dest_ep.ring.acquire_slot()
+            while slot is None:
+                # Ring full: wait for the consumer to drain (local traffic
+                # cannot be dropped; there is no retransmission path).
+                yield dest_ep.ring_drain.wait()
+                slot = dest_ep.ring.acquire_slot()
+            if n:
+                yield from self.host.copier.memcpy(
+                    core, req.region, req.offset + off,
+                    dest_ep.ring.slot_region(slot), 0, n, "driver",
+                )
+            dest_ep.post_event(OmxEvent(
+                EvType.EAGER_FRAG, peer=ep.addr, match_info=req.match_info,
+                msg_id=req.msg_id, msg_len=req.length, frag_index=i,
+                frag_count=count, offset=off, length=n, ring_slot=slot,
+            ))
+        self.local_eager += 1
+        req.xfer_length = req.length
+        ep.post_event(OmxEvent(EvType.SEND_DONE, peer=req.peer, req=req))
+        return None
+
+    def cmd_pull_local(self, core: "Core", ep: "OmxEndpoint", req: OmxRequest,
+                       peer: EndpointAddr, msg_id: int, msg_len: int) -> Generator:
+        """The one-copy transfer, executed in the receiver's system call."""
+        state = self._pending.pop(msg_id, None)
+        if state is None:
+            raise ValueError(f"no pending local send {msg_id}")
+        total = min(msg_len, req.length)
+        yield from self.driver._enter_syscall(core)
+        try:
+            src_req = state.req
+            pinned_src = pinned_dst = None
+            if total:
+                src_sub = src_req.region.subregion(src_req.offset, total)
+                dst_sub = req.region.subregion(req.offset, total)
+                # get_user_pages on both address spaces (the kernel maps the
+                # remote process's pages to copy from them).
+                pinned_src = yield from self.host.regcache.acquire(core, src_sub, "driver")
+                pinned_dst = yield from self.host.regcache.acquire(core, dst_sub, "driver")
+                use_ioat = (
+                    self.config.ioat_enabled and total >= self.config.shm_ioat_min
+                )
+                if use_ioat:
+                    cookie = yield from self.host.ioat.submit_copy(
+                        core, src_req.region, src_req.offset,
+                        req.region, req.offset, total, "driver",
+                    )
+                    if self.config.ioat_sleep_model:
+                        yield from self.host.ioat.sleep_wait(core, cookie, "driver")
+                    else:
+                        yield from self.host.ioat.busy_wait(core, cookie, "driver")
+                    self.ioat_copies += 1
+                else:
+                    yield from self.host.copier.memcpy(
+                        core, src_req.region, src_req.offset,
+                        req.region, req.offset, total, "driver",
+                    )
+            if pinned_src is not None:
+                yield from self.host.regcache.release(core, pinned_src, "driver")
+            if pinned_dst is not None:
+                yield from self.host.regcache.release(core, pinned_dst, "driver")
+            req.xfer_length = total
+            src_req.xfer_length = total
+            ep.post_event(OmxEvent(EvType.RECV_LARGE_DONE, peer=peer,
+                                   msg_len=total, req=req))
+            state.endpoint.post_event(OmxEvent(EvType.SEND_DONE, peer=req.peer,
+                                               req=src_req))
+        finally:
+            core.res.release()
+        return None

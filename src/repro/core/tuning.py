@@ -1,0 +1,91 @@
+"""Threshold auto-tuning (extension; paper §VI future work).
+
+"Benchmarking the I/OAT hardware and memcpy in the cached and uncached
+cases on startup may thus help configuring our thresholds."  This module
+does exactly that: it runs the same micro-measurements a driver could run
+at module-load time (entirely from the calibrated cost models, like probing
+real silicon would) and derives the two offload thresholds:
+
+* ``ioat_min_frag`` — the smallest fragment worth a descriptor: the copy
+  must outlast the ~350 ns submission cost by a safety margin, in the
+  *cached* case too (a fragment that memcpy could stream from L2 faster
+  than the submission overhead should never be offloaded);
+* ``ioat_min_msg`` — offload only messages spanning at least one full pull
+  block: shorter messages finish before any overlap can develop, and their
+  data is small enough that the cache-warming side effect of memcpy is
+  worth keeping (§IV-A's empirical 64 kB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.params import OmxConfig
+
+
+@dataclass(frozen=True)
+class CopyCalibration:
+    """Startup micro-benchmark results (what a driver probe would measure)."""
+
+    memcpy_uncached_bw: float
+    memcpy_cached_bw: float
+    ioat_submit_ns: int
+    ioat_page_chunk_bw: float
+    #: smallest copy whose uncached memcpy outlasts one submission
+    breakeven_uncached: int
+    #: same for a cache-resident copy
+    breakeven_cached: int
+
+
+def benchmark_copy_engines(host: "Host") -> CopyCalibration:
+    """Probe the copy engines (startup micro-benchmark)."""
+    hp = host.params
+    submit = hp.ioat.submit_cost
+    uncached = hp.memcpy.uncached_bw
+    cached = hp.cache.cached_copy_bw
+    # Sustained engine bandwidth with page-sized descriptors, amortising the
+    # per-descriptor cost — the Fig. 7 "4 kB chunks" asymptote.
+    page = 4096
+    page_time = host.ioat_engine[0].service_time(page)
+    page_bw = page * SEC / page_time
+    return CopyCalibration(
+        memcpy_uncached_bw=uncached,
+        memcpy_cached_bw=cached,
+        ioat_submit_ns=submit,
+        ioat_page_chunk_bw=page_bw,
+        breakeven_uncached=int(submit * uncached / SEC),
+        breakeven_cached=int(submit * cached / SEC),
+    )
+
+
+def _round_up_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def autotune_thresholds(host: "Host", config: "OmxConfig") -> "OmxConfig":
+    """Derive offload thresholds from the startup calibration.
+
+    On the paper's hardware this lands exactly on its empirical choices
+    (1 kB fragments, 64 kB messages); on different hardware (a faster CPU
+    copy, a slower engine) the thresholds move accordingly.
+    """
+    cal = benchmark_copy_engines(host)
+    # Fragment threshold: never offload what the CPU could copy from cache
+    # in less than the submission takes (the worst case for offload).
+    min_frag = _round_up_pow2(max(cal.breakeven_cached, cal.breakeven_uncached, 1))
+    # Message threshold: at least one full pull block, so asynchronous
+    # overlap can actually develop before the last-fragment wait.
+    min_msg = max(config.large_frag * config.pull_block_frags, min_frag)
+    # If the engine cannot beat the uncached CPU copy at page granularity,
+    # offloading large streams is pointless: disable by raising thresholds.
+    if cal.ioat_page_chunk_bw <= cal.memcpy_uncached_bw:
+        return replace(config, ioat_min_frag=1 << 30, ioat_min_msg=1 << 62)
+    return replace(config, ioat_min_frag=min_frag, ioat_min_msg=min_msg)

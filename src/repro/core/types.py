@@ -1,0 +1,153 @@
+"""Events, requests and the statically-pinned eager ring.
+
+The driver communicates with the user library through a per-endpoint event
+ring (§III-A: "an event is written in a shared event ring to notify a
+receive completion to the user-library").  Small and medium message data
+travels alongside in a statically-allocated, statically-pinned user-space
+ring (§II-B, Fig. 2): the BH copies incoming fragments into ring slots; the
+library copies them out after matching — the two-copy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, auto
+from typing import Optional
+
+from repro.memory.buffers import AddressSpace, MemoryRegion
+from repro.mx.wire import EndpointAddr
+
+
+class EvType(IntEnum):
+    """Driver→library event ring entries."""
+
+    #: an eager fragment landed in ring slot ``ring_slot``
+    EAGER_FRAG = auto()
+    #: a rendezvous arrived: a large message awaits a matching recv
+    RNDV = auto()
+    #: a driver-managed large receive finished (data already in place)
+    RECV_LARGE_DONE = auto()
+    #: a send request fully completed (acked / notified / locally copied)
+    SEND_DONE = auto()
+    #: a local (intra-node) rendezvous from a same-host sender
+    RNDV_LOCAL = auto()
+
+
+@dataclass
+class OmxEvent:
+    """One event-ring entry."""
+
+    etype: EvType
+    peer: EndpointAddr
+    match_info: int = 0
+    msg_id: int = 0
+    msg_len: int = 0
+    #: eager fragment geometry
+    frag_index: int = 0
+    frag_count: int = 1
+    offset: int = 0
+    length: int = 0
+    #: eager ring slot holding the data (EAGER_FRAG only)
+    ring_slot: int = -1
+    #: request handle being completed (SEND_DONE / RECV_LARGE_DONE)
+    req: Optional["OmxRequest"] = None
+
+
+@dataclass
+class OmxRequest:
+    """A user-visible pending operation (send or receive)."""
+
+    kind: str  # "send" | "recv"
+    match_info: int
+    mask: int
+    region: Optional[MemoryRegion]
+    offset: int
+    length: int
+    peer: Optional[EndpointAddr] = None
+    completion: object = None  # Event, filled in by the endpoint
+    xfer_length: int = 0
+    msg_id: int = -1
+    #: driver-side pinned region(s) (large messages), for release at completion
+    pinned: object = None
+    #: vectored sends: list of (region, offset, length) segments; when set,
+    #: ``region`` is None and ``length`` is the total (§IV-A's
+    #: "highly-vectorial buffers" case — segment boundaries cap fragment
+    #: sizes, which is what makes the 1 kB offload threshold matter)
+    segments: Optional[list] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completion is not None and self.completion.triggered
+
+    def iter_pieces(self, start: int, length: int, max_piece: int):
+        """Walk ``[start, start+length)`` of the message payload, yielding
+        ``(msg_offset, region, region_offset, piece_len)`` pieces that never
+        cross a segment boundary nor exceed ``max_piece``."""
+        if self.segments is None:
+            pos = start
+            end = start + length
+            while pos < end:
+                n = min(max_piece, end - pos)
+                yield pos, self.region, self.offset + pos, n
+                pos += n
+            return
+        end = start + length
+        msg_off = 0
+        for region, seg_off, seg_len in self.segments:
+            seg_lo, seg_hi = msg_off, msg_off + seg_len
+            lo = max(seg_lo, start)
+            while lo < min(seg_hi, end):
+                n = min(max_piece, min(seg_hi, end) - lo)
+                yield lo, region, seg_off + (lo - seg_lo), n
+                lo += n
+            msg_off = seg_hi
+            if msg_off >= end:
+                break
+
+
+class EagerRing:
+    """Statically pinned ring of fixed-size slots for eager data.
+
+    Allocated (and conceptually pinned) once at endpoint open, so the BH can
+    copy into it without any per-message pinning (§II-C: "Open-MX already
+    pins its receive buffers").  Slots are freed by the library after it
+    copies data out; an exhausted ring makes the BH drop the fragment (the
+    reliability layer retransmits it later).
+    """
+
+    def __init__(self, space: AddressSpace, nslots: int = 256, slot_size: int = 4096):
+        if nslots < 1 or slot_size < 1:
+            raise ValueError("ring needs >= 1 slot of >= 1 byte")
+        self.nslots = nslots
+        self.slot_size = slot_size
+        self.region = space.alloc(nslots * slot_size)
+        self._free: list[int] = list(range(nslots - 1, -1, -1))
+        self._busy: set[int] = set()
+        # statistics
+        self.drops_full = 0
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def acquire_slot(self) -> Optional[int]:
+        """Take a slot for an incoming fragment; None when exhausted."""
+        if not self._free:
+            self.drops_full += 1
+            return None
+        slot = self._free.pop()
+        self._busy.add(slot)
+        return slot
+
+    def release_slot(self, slot: int) -> None:
+        """Library-side: slot data has been copied out."""
+        if slot not in self._busy:
+            raise ValueError(f"slot {slot} is not busy")
+        self._busy.remove(slot)
+        self._free.append(slot)
+
+    def slot_region(self, slot: int) -> MemoryRegion:
+        """The memory backing one slot."""
+        if not 0 <= slot < self.nslots:
+            raise IndexError(slot)
+        return self.region.subregion(slot * self.slot_size, self.slot_size)

@@ -1,0 +1,34 @@
+"""Generic Ethernet substrate: the layer Open-MX is built on.
+
+Models the parts of the Linux Ethernet stack that shape the paper's problem:
+
+* :mod:`~repro.ethernet.frame` — frames and wire-size arithmetic.
+* :mod:`~repro.ethernet.skbuff` — socket buffers: kernel-page-backed for
+  receive, page-fragment (zero-copy) for transmit, with a leak-checked pool.
+* :mod:`~repro.ethernet.link` — a full-duplex point-to-point link with
+  per-direction serialization, propagation delay and optional fault
+  injection (frame drops).
+* :mod:`~repro.ethernet.nic` — the NIC: a ring of pre-posted receive
+  skbuffs filled by DMA ("the driver cannot predict which packet will
+  arrive next", §II-B — the architectural reason receive copies exist),
+  interrupt coalescing, and a zero-copy transmit path.
+* :mod:`~repro.ethernet.driver` — softirq bottom-half dispatch: received
+  skbuffs are handed to per-ethertype protocol handlers on the interrupt
+  core.
+"""
+
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.link import Link, LossInjector
+from repro.ethernet.nic import Nic
+from repro.ethernet.skbuff import Skbuff, SkbuffPool
+from repro.ethernet.driver import SoftirqEngine
+
+__all__ = [
+    "EthernetFrame",
+    "Link",
+    "LossInjector",
+    "Nic",
+    "Skbuff",
+    "SkbuffPool",
+    "SoftirqEngine",
+]

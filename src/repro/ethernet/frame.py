@@ -1,0 +1,60 @@
+"""Ethernet frames and wire-time arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import units
+
+#: Ethertype we use for MX-over-Ethernet traffic (the real Open-MX uses
+#: 0x86DF-style experimental types; the exact value is opaque to the model).
+ETHERTYPE_MX = 0x86DF
+
+#: Minimum Ethernet payload (frames are padded on the wire).
+MIN_PAYLOAD = 46
+
+
+@dataclass
+class EthernetFrame:
+    """One frame in flight.
+
+    ``payload`` is an opaque protocol object (an
+    :class:`~repro.mx.wire.MxPacket` for all traffic in this project);
+    ``payload_len`` is its size in bytes on the wire, including protocol
+    headers but excluding the MAC header.
+    """
+
+    src_mac: int
+    dst_mac: int
+    ethertype: int
+    payload: object
+    payload_len: int
+    #: assigned by the link at serialization time (diagnostics)
+    sent_at: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_len < 0:
+            raise ValueError("negative payload length")
+
+    @property
+    def frame_len(self) -> int:
+        """Bytes in the frame buffer: MAC header + padded payload."""
+        return units.ETHERNET_HEADER_LEN + max(self.payload_len, MIN_PAYLOAD)
+
+    @property
+    def wire_len(self) -> int:
+        """Bytes occupying the wire: frame + preamble/SFD + CRC + IFG."""
+        return self.frame_len + units.ETHERNET_WIRE_OVERHEAD
+
+    def serialization_time(self, link_bw: float) -> int:
+        """Ticks to clock this frame onto a link of ``link_bw`` bytes/s."""
+        return units.transfer_time(self.wire_len, link_bw)
+
+
+def frames_needed(payload_bytes: int, mtu: int, per_frame_headers: int) -> int:
+    """How many frames a payload needs given per-frame protocol headers."""
+    room = mtu - per_frame_headers
+    if room <= 0:
+        raise ValueError("headers exceed MTU")
+    return max(1, -(-payload_bytes // room))

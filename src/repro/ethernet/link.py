@@ -1,0 +1,107 @@
+"""Point-to-point full-duplex Ethernet link with fault injection.
+
+Each direction serializes frames at the link rate (a transmitter resource),
+then delivers after a propagation delay.  A :class:`LossInjector` can drop
+selected frames — used by the tests that exercise the pull protocol's
+retransmission path (§III-B: the cleanup routine "is also invoked when the
+retransmission timeout expires in case of packet loss").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.ethernet.frame import EthernetFrame
+from repro.simkernel.resources import Resource
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ethernet.nic import Nic
+    from repro.simkernel.scheduler import Simulator
+
+
+class LossInjector:
+    """Decides which frames to drop.
+
+    ``drop_indices`` drops the Nth transmitted frames (0-based, per link
+    direction); ``predicate`` drops frames matching an arbitrary test.
+    """
+
+    def __init__(
+        self,
+        drop_indices: Optional[set[int]] = None,
+        predicate: Optional[Callable[[EthernetFrame, int], bool]] = None,
+    ):
+        self.drop_indices = drop_indices or set()
+        self.predicate = predicate
+        self.dropped = 0
+
+    def should_drop(self, frame: EthernetFrame, index: int) -> bool:
+        drop = index in self.drop_indices or (
+            self.predicate is not None and self.predicate(frame, index)
+        )
+        if drop:
+            self.dropped += 1
+        return drop
+
+
+class _Direction:
+    """One direction of the link."""
+
+    def __init__(self, sim: "Simulator", bw: float, delay: int, name: str):
+        self.sim = sim
+        self.bw = bw
+        self.delay = delay
+        self.tx = Resource(sim, 1, name=f"{name}.tx")
+        self.sink: Optional["Nic"] = None
+        self.loss: Optional[LossInjector] = None
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    def transmit(self, frame: EthernetFrame) -> Generator:
+        """Serialize ``frame`` and schedule its delivery."""
+        yield self.tx.request()
+        try:
+            frame.sent_at = self.sim.now
+            yield self.sim.timeout(frame.serialization_time(self.bw))
+        finally:
+            self.tx.release()
+        index = self.frames_sent
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_len
+        if self.loss is not None and self.loss.should_drop(frame, index):
+            return False
+        sink = self.sink
+
+        def deliver() -> Generator:
+            yield self.sim.timeout(self.delay)
+            if sink is not None:
+                sink.on_frame(frame)
+
+        self.sim.daemon(deliver(), name="link-deliver")
+        return True
+
+
+class Link:
+    """A back-to-back cable between two NICs (the paper's switchless setup)."""
+
+    def __init__(self, sim: "Simulator", bw: float, propagation_delay: int, name: str = "link"):
+        self.sim = sim
+        self.bw = bw
+        self.a_to_b = _Direction(sim, bw, propagation_delay, f"{name}.a2b")
+        self.b_to_a = _Direction(sim, bw, propagation_delay, f"{name}.b2a")
+
+    def attach(self, nic_a: "Nic", nic_b: "Nic") -> None:
+        """Plug the cable into two NICs."""
+        self.a_to_b.sink = nic_b
+        self.b_to_a.sink = nic_a
+        nic_a._egress = self.a_to_b
+        nic_b._egress = self.b_to_a
+
+    def inject_loss(self, direction_a2b: bool, injector: LossInjector) -> None:
+        """Arm fault injection on one direction."""
+        (self.a_to_b if direction_a2b else self.b_to_a).loss = injector
+
+    def rate_mib_s(self) -> float:
+        """Link bandwidth in MiB/s (convenience for reports)."""
+        return self.bw / (1024 * 1024)

@@ -1,0 +1,127 @@
+"""The NIC: pre-posted receive ring, DMA fill, interrupts, zero-copy send.
+
+The receive design is the crux of the paper (§II-B): the driver keeps a ring
+of anonymous skbuffs; the NIC consumes them **in order**, DMA-writes each
+incoming frame into the next one and notifies the driver.  Since nobody can
+know which message a frame belongs to before it arrives, the data always
+lands in the wrong place and must be copied by the host — unless that copy
+is offloaded, which is the contribution under study.
+
+NIC DMA writes are accounted on the memory bus and snoop-invalidate CPU
+caches (so receive-copy sources are always cache-cold).
+
+A ``frame_sink`` hook lets the native-MX baseline replace the whole skbuff
+path with its firmware model (zero-copy deposit), sharing the link and frame
+format — mirroring the real Myri-10G board's two personalities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.skbuff import Skbuff, SkbuffPool
+from repro.params import NicParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ethernet.driver import SoftirqEngine
+    from repro.ethernet.link import _Direction
+    from repro.memory.bus import MemoryBus
+    from repro.memory.cache import CacheDirectory
+    from repro.simkernel.cpu import Core
+    from repro.simkernel.scheduler import Simulator
+
+
+class Nic:
+    """One 10G Ethernet port (Myri-10G in native Ethernet mode)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        params: NicParams,
+        mac: int,
+        pool: SkbuffPool,
+        bus: "MemoryBus",
+        caches: "CacheDirectory",
+    ):
+        self.sim = sim
+        self.params = params
+        self.mac = mac
+        self.pool = pool
+        self.bus = bus
+        self.caches = caches
+        self._egress: Optional["_Direction"] = None  # set by Link.attach
+        self.softirq: Optional["SoftirqEngine"] = None
+        #: native-firmware hook: when set, frames bypass the skbuff path
+        self.frame_sink: Optional[Callable[[EthernetFrame], None]] = None
+        #: pre-posted receive buffers
+        self._rx_ring: list[Skbuff] = []
+        # statistics
+        self.rx_frames = 0
+        self.tx_frames = 0
+        self.rx_dropped = 0
+        self._fill_ring()
+
+    # -- receive ----------------------------------------------------------
+
+    def _fill_ring(self) -> None:
+        while len(self._rx_ring) < self.params.rx_ring_size:
+            self._rx_ring.append(self.pool.alloc_rx())
+
+    def refill(self) -> None:
+        """Driver-side ring replenishment (runs logically in the BH)."""
+        self._fill_ring()
+
+    def on_frame(self, frame: EthernetFrame) -> None:
+        """Link delivery: DMA the frame into the next posted skbuff."""
+        if self.frame_sink is not None:
+            self.frame_sink(frame)
+            return
+        if not self._rx_ring:
+            self.rx_dropped += 1
+            return
+        skb = self._rx_ring.pop(0)
+        payload = frame.payload
+        data = getattr(payload, "gather_data", None)
+        if data is not None:
+            raw = payload.gather_data()
+            n = min(len(raw), len(skb.head))
+            if n:
+                skb.head.write(0, raw[:n])
+            skb.data_len = n
+        else:
+            skb.data_len = min(frame.payload_len, len(skb.head))
+        skb.frame = frame
+        # DMA side effects: bus traffic + cache snoop invalidation.
+        self.bus.record_dma_write(frame.frame_len)
+        self.caches.invalidate_all(skb.head.addr, max(skb.data_len, 1))
+        self.rx_frames += 1
+        if self.softirq is not None:
+            self.softirq.enqueue(skb)
+        else:  # no driver attached: drop politely
+            skb.free()
+            self.rx_dropped += 1
+
+    # -- transmit ----------------------------------------------------------
+
+    def xmit(self, core: "Core", skb: Skbuff, frame: EthernetFrame) -> Generator:
+        """Driver transmit path: charge CPU, hand to the link, free on TX done.
+
+        The caller must hold ``core`` (this runs in syscall or BH context).
+        Serialization happens in a background process so the CPU is released
+        after the doorbell — like a real descriptor-ring NIC.
+        """
+        if self._egress is None:
+            raise RuntimeError("NIC has no link attached")
+        yield from core.busy(self.params.tx_frame_cost, "driver")
+        skb.frame = frame
+        egress = self._egress
+
+        def do_send() -> Generator:
+            yield self.sim.timeout(self.params.per_frame_cost)
+            yield from egress.transmit(frame)
+            self.tx_frames += 1
+            skb.free()  # TX completion releases the buffer (and page frags)
+
+        self.sim.daemon(do_send(), name="nic-tx")
+        return None

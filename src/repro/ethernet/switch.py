@@ -1,0 +1,124 @@
+"""A store-and-forward Ethernet switch for multi-node testbeds.
+
+The paper's measurements are back-to-back ("two Myri-10G NICs connected
+without any switch"), but its motivating deployment — PVFS2 transport
+between BlueGene/P compute and I/O nodes — is a switched fabric.  This
+switch enables N-node testbeds: each port is a full-duplex link to one
+NIC; frames are forwarded by destination MAC after a store-and-forward
+latency, with per-output-port serialization (so congestion on a hot
+receiver emerges naturally) and a bounded per-port egress queue that drops
+when full (tail drop), exercising the stacks' retransmission machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.link import Link
+from repro.simkernel.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ethernet.nic import Nic
+    from repro.simkernel.scheduler import Simulator
+
+
+class _SwitchPort:
+    """Endpoint object plugged into one side of a Link, posing as a NIC."""
+
+    def __init__(self, switch: "EthernetSwitch", index: int):
+        self.switch = switch
+        self.index = index
+        self._egress = None  # filled by Link.attach
+
+    def on_frame(self, frame: EthernetFrame) -> None:
+        self.switch._ingress(self.index, frame)
+
+
+class EthernetSwitch:
+    """N-port cut-through-ish switch with per-port egress queues."""
+
+    def __init__(self, sim: "Simulator", n_ports: int, link_bw: float,
+                 propagation_delay: int, forwarding_latency: int = 500,
+                 egress_queue_frames: int = 128):
+        self.sim = sim
+        self.link_bw = link_bw
+        self.propagation_delay = propagation_delay
+        self.forwarding_latency = forwarding_latency
+        self.ports = [_SwitchPort(self, i) for i in range(n_ports)]
+        self.links: list[Optional[Link]] = [None] * n_ports
+        self._mac_table: dict[int, int] = {}
+        self._egress_q: list[Store] = [
+            Store(sim, capacity=egress_queue_frames, name=f"sw-eg{i}")
+            for i in range(n_ports)
+        ]
+        for i in range(n_ports):
+            sim.daemon(self._egress_daemon(i), name=f"switch-eg{i}")
+        # statistics
+        self.forwarded = 0
+        self.dropped = 0
+        self.flooded = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_nic(self, port: int, nic: "Nic") -> None:
+        """Cable ``nic`` to switch ``port``."""
+        if self.links[port] is not None:
+            raise ValueError(f"port {port} already in use")
+        link = Link(self.sim, self.link_bw, self.propagation_delay,
+                    name=f"sw-p{port}")
+        link.attach(nic, self.ports[port])  # type: ignore[arg-type]
+        self.links[port] = link
+        self._mac_table[nic.mac] = port
+
+    # -- forwarding -------------------------------------------------------------
+
+    def _ingress(self, in_port: int, frame: EthernetFrame) -> None:
+        # Learn the source, look up the destination.
+        self._mac_table.setdefault(frame.src_mac, in_port)
+        out = self._mac_table.get(frame.dst_mac)
+        if out is None:
+            # Unknown destination: flood (rare; endpoints are pre-learned).
+            self.flooded += 1
+            targets = [p for p in range(len(self.ports))
+                       if p != in_port and self.links[p] is not None]
+        else:
+            targets = [out]
+        for port in targets:
+            if not self._egress_q[port].try_put(frame):
+                self.dropped += 1
+
+    def _egress_daemon(self, port: int) -> Generator:
+        while True:
+            frame = yield self._egress_q[port].get()
+            yield self.sim.timeout(self.forwarding_latency)
+            link = self.links[port]
+            if link is None:
+                continue
+            # The switch port is side "b" of its link: transmit toward the NIC.
+            yield from link.b_to_a.transmit(frame)
+            self.forwarded += 1
+
+
+def build_switched_testbed(n_nodes: int, platform=None, **omx_overrides):
+    """An N-node Open-MX testbed around one switch."""
+    from repro.cluster.host import Host
+    from repro.cluster.testbed import Testbed
+    from repro.core.driver import OmxStack
+    from repro.params import clovertown_5000x
+    from repro.simkernel.scheduler import Simulator
+
+    if platform is None:
+        platform = clovertown_5000x(**omx_overrides)
+    elif omx_overrides:
+        platform = platform.with_omx(**omx_overrides)
+    sim = Simulator()
+    hosts = [Host(sim, platform, name=f"node{i}") for i in range(n_nodes)]
+    switch = EthernetSwitch(sim, n_nodes, platform.nic.link_bw,
+                            platform.nic.propagation_delay)
+    for i, host in enumerate(hosts):
+        switch.attach_nic(i, host.nic)
+    stacks = [OmxStack(host) for host in hosts]
+    tb = Testbed(sim, platform, hosts, None, stacks)
+    tb.switch = switch
+    return tb

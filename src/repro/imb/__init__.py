@@ -1,0 +1,12 @@
+"""Intel MPI Benchmarks (IMB) reproduction harness.
+
+Implements the eleven IMB-MPI1 tests of the paper's Fig. 12 — PingPong,
+PingPing, SendRecv, Exchange, Allreduce, Reduce, Reduce_scatter, Allgather,
+Allgatherv, Alltoall, Bcast — with IMB's timing conventions (synchronised
+start, warm-up iterations, per-iteration average, the standard
+bytes-per-iteration factors for the point-to-point tests).
+"""
+
+from repro.imb.harness import IMB_TESTS, ImbResult, run_imb
+
+__all__ = ["IMB_TESTS", "ImbResult", "run_imb"]

@@ -1,0 +1,208 @@
+"""The IMB driver: per-test bodies, timing, throughput arithmetic.
+
+Timing follows IMB-MPI1: a barrier synchronises all ranks, ``warmup``
+untimed iterations prime caches and registration state, then ``iterations``
+timed repetitions run back-to-back.  ``t_avg`` is the makespan divided by
+the iteration count; point-to-point tests also report MiB/s using IMB's
+per-iteration byte factors (PingPong moves ``size`` per measured unit —
+half a round-trip — SendRecv 2×, Exchange 4×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.mpi.comm import Communicator, Rank
+from repro.units import MiB, SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.testbed import Testbed
+
+
+@dataclass
+class ImbResult:
+    """One (test, size) measurement."""
+
+    test: str
+    size: int
+    iterations: int
+    #: average time per iteration unit, microseconds (IMB t_avg)
+    t_avg_us: float
+    #: reported throughput, MiB/s (point-to-point tests; 0 for collectives)
+    mib_s: float
+    ranks: int
+
+
+# ---------------------------------------------------------------------------
+# per-test bodies: body(rank, size, buffers) runs ONE iteration
+# ---------------------------------------------------------------------------
+
+
+def _bufs(rank: Rank, *specs: tuple[str, int]):
+    """Named reusable per-rank buffers."""
+    cache = getattr(rank, "_imb_bufs", None)
+    if cache is None:
+        cache = rank._imb_bufs = {}
+    out = []
+    for name, nbytes in specs:
+        region = cache.get(name)
+        if region is None or len(region) < nbytes:
+            region = rank.space.alloc(max(nbytes, 1))
+            region.fill_pattern(hash(name) & 0xFF)
+            cache[name] = region
+        out.append(region)
+    return out
+
+
+def _pingpong(rank: Rank, size: int) -> Generator:
+    sb, rb = _bufs(rank, ("s", size), ("r", size))
+    if rank.rank == 0:
+        yield from rank.send(1, sb, 0, size, tag=1)
+        yield from rank.recv(1, rb, 0, size, tag=2)
+    elif rank.rank == 1:
+        yield from rank.recv(0, rb, 0, size, tag=1)
+        yield from rank.send(0, sb, 0, size, tag=2)
+    return None
+
+
+def _pingping(rank: Rank, size: int) -> Generator:
+    sb, rb = _bufs(rank, ("s", size), ("r", size))
+    if rank.rank in (0, 1):
+        other = 1 - rank.rank
+        rreq = yield from rank.irecv(other, rb, 0, size, tag=3)
+        sreq = yield from rank.isend(other, sb, 0, size, tag=3)
+        yield from rank.wait(sreq)
+        yield from rank.wait(rreq)
+    return None
+
+
+def _sendrecv(rank: Rank, size: int) -> Generator:
+    sb, rb = _bufs(rank, ("s", size), ("r", size))
+    p = rank.size
+    yield from rank.sendrecv((rank.rank + 1) % p, sb, (rank.rank - 1) % p, rb,
+                             length=size, stag=4, rtag=4)
+    return None
+
+
+def _exchange(rank: Rank, size: int) -> Generator:
+    sb, rb_l, rb_r = _bufs(rank, ("s", size), ("rl", size), ("rr", size))
+    p = rank.size
+    left, right = (rank.rank - 1) % p, (rank.rank + 1) % p
+    r1 = yield from rank.irecv(left, rb_l, 0, size, tag=5)
+    r2 = yield from rank.irecv(right, rb_r, 0, size, tag=6)
+    s1 = yield from rank.isend(right, sb, 0, size, tag=5)
+    s2 = yield from rank.isend(left, sb, 0, size, tag=6)
+    for req in (s1, s2, r1, r2):
+        yield from rank.wait(req)
+    return None
+
+
+def _bcast(rank: Rank, size: int, iteration: int = 0) -> Generator:
+    (buf,) = _bufs(rank, ("b", size))
+    yield from rank.bcast(buf, root=iteration % rank.size, length=size)
+    return None
+
+
+def _reduce(rank: Rank, size: int, iteration: int = 0) -> Generator:
+    sb, rb = _bufs(rank, ("s", size), ("r", size))
+    yield from rank.reduce(sb, rb, root=iteration % rank.size, length=size)
+    return None
+
+
+def _allreduce(rank: Rank, size: int) -> Generator:
+    sb, rb = _bufs(rank, ("s", size), ("r", size))
+    yield from rank.allreduce(sb, rb, length=size)
+    return None
+
+
+def _reduce_scatter(rank: Rank, size: int) -> Generator:
+    p = rank.size
+    block = max(size // p, 4)
+    sb, rb = _bufs(rank, ("s", block * p), ("r", block))
+    yield from rank.reduce_scatter(sb, rb, block)
+    return None
+
+
+def _allgather(rank: Rank, size: int) -> Generator:
+    p = rank.size
+    sb, rb = _bufs(rank, ("s", size), ("r", size * p))
+    yield from rank.allgather(sb, rb, size)
+    return None
+
+
+def _allgatherv(rank: Rank, size: int) -> Generator:
+    p = rank.size
+    lens = [size] * p
+    sb, rb = _bufs(rank, ("s", size), ("r", size * p))
+    yield from rank.allgatherv(sb, rb, lens)
+    return None
+
+
+def _alltoall(rank: Rank, size: int) -> Generator:
+    p = rank.size
+    sb, rb = _bufs(rank, ("s", size * p), ("r", size * p))
+    yield from rank.alltoall(sb, rb, size)
+    return None
+
+
+#: test name → (body, bytes-per-iteration factor for MiB/s, takes_iteration)
+IMB_TESTS: dict[str, tuple[Callable, float, bool]] = {
+    "PingPong": (_pingpong, 1.0, False),
+    "PingPing": (_pingping, 1.0, False),
+    "SendRecv": (_sendrecv, 2.0, False),
+    "Exchange": (_exchange, 4.0, False),
+    "Allreduce": (_allreduce, 0.0, False),
+    "Reduce": (_reduce, 0.0, True),
+    "Red.Scat.": (_reduce_scatter, 0.0, False),
+    "Allgather": (_allgather, 0.0, False),
+    "Allgatherv": (_allgatherv, 0.0, False),
+    "Alltoall": (_alltoall, 0.0, False),
+    "Bcast": (_bcast, 0.0, True),
+}
+
+
+def run_imb(
+    tb: "Testbed",
+    comm: Communicator,
+    test: str,
+    size: int,
+    iterations: int = 10,
+    warmup: int = 2,
+    max_events: Optional[int] = 200_000_000,
+) -> ImbResult:
+    """Run one IMB test at one size; returns the measurement."""
+    if test not in IMB_TESTS:
+        raise ValueError(f"unknown IMB test {test!r}; know {sorted(IMB_TESTS)}")
+    body, bytes_factor, takes_iter = IMB_TESTS[test]
+    marks: dict[str, int] = {}
+
+    def rank_body(rank: Rank) -> Generator:
+        yield from rank.barrier()
+        for i in range(warmup):
+            if takes_iter:
+                yield from body(rank, size, i)
+            else:
+                yield from body(rank, size)
+        yield from rank.barrier()
+        if rank.rank == 0:
+            marks["start"] = rank.sim.now
+        for i in range(iterations):
+            if takes_iter:
+                yield from body(rank, size, warmup + i)
+            else:
+                yield from body(rank, size)
+        yield from rank.barrier()
+        if rank.rank == 0:
+            marks["end"] = rank.sim.now
+
+    comm.run_spmd(rank_body, max_events=max_events)
+    elapsed = marks["end"] - marks["start"]
+    per_iter = elapsed / iterations
+    if test == "PingPong":
+        per_iter /= 2.0  # IMB reports half the round trip
+    t_avg_us = per_iter / 1000.0
+    mib_s = 0.0
+    if bytes_factor and per_iter > 0:
+        mib_s = bytes_factor * size / MiB * SEC / per_iter
+    return ImbResult(test, size, iterations, t_avg_us, mib_s, comm.size)

@@ -1,0 +1,28 @@
+"""Intel I/OAT DMA engine model.
+
+The engine lives in the memory chipset (Fig. 4): four independent channels,
+each consuming a ring of copy descriptors in order and reporting completions
+in order via a status write that the host polls with a plain memory read.
+There are no completion interrupts (§VI) — waiters must poll.
+
+* :mod:`~repro.ioat.descriptor` — copy descriptors and the per-channel ring.
+* :mod:`~repro.ioat.channel` — one DMA channel: in-order execution with the
+  calibrated per-descriptor + bandwidth cost model of Fig. 7.
+* :mod:`~repro.ioat.engine` — the 4-channel engine with channel allocation.
+* :mod:`~repro.ioat.api` — the Linux dmaengine-style kernel API used by the
+  Open-MX driver (submit page-aligned chunked copies, poll completions).
+"""
+
+from repro.ioat.channel import DmaChannel
+from repro.ioat.descriptor import CopyDescriptor, DescriptorRing
+from repro.ioat.engine import IoatEngine
+from repro.ioat.api import DmaCookie, IoatDmaApi
+
+__all__ = [
+    "CopyDescriptor",
+    "DescriptorRing",
+    "DmaChannel",
+    "DmaCookie",
+    "IoatDmaApi",
+    "IoatEngine",
+]

@@ -1,0 +1,99 @@
+"""Copy descriptors and per-channel descriptor rings.
+
+A descriptor describes one chunk that crosses no page boundary on either
+side (the hardware takes DMA addresses).  Descriptors are numbered with
+monotonically increasing *cookies* per channel; because the hardware
+completes strictly in order, "cookie N is done" implies all earlier cookies
+are done — the property that makes completion polling a single memory read
+(§IV-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.buffers import MemoryRegion
+
+
+@dataclass
+class CopyDescriptor:
+    """One hardware copy: ``length`` bytes, page-contained on both sides."""
+
+    src: MemoryRegion
+    src_off: int
+    dst: MemoryRegion
+    dst_off: int
+    length: int
+    #: per-channel sequence number, assigned at submission
+    cookie: int = -1
+    #: simulation time when the engine finished this descriptor
+    completed_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("descriptor length must be positive")
+        if self.src_off < 0 or self.src_off + self.length > len(self.src):
+            raise ValueError("descriptor source outside region")
+        if self.dst_off < 0 or self.dst_off + self.length > len(self.dst):
+            raise ValueError("descriptor destination outside region")
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+class DescriptorRing:
+    """Bounded FIFO of submitted-but-unreaped descriptors."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("ring size must be >= 1")
+        self.size = size
+        self._ring: deque[CopyDescriptor] = deque()
+        self._next_cookie = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - len(self._ring)
+
+    def push(self, desc: CopyDescriptor) -> int:
+        """Append a descriptor, assigning its cookie.  Raises when full."""
+        if not self.free_slots:
+            raise BufferError("descriptor ring full")
+        desc.cookie = self._next_cookie
+        self._next_cookie += 1
+        self._ring.append(desc)
+        return desc.cookie
+
+    def oldest_pending(self) -> Optional[CopyDescriptor]:
+        """The oldest descriptor not yet completed, if any."""
+        for d in self._ring:
+            if not d.done:
+                return d
+        return None
+
+    def reap_completed(self) -> list[CopyDescriptor]:
+        """Pop-and-return the completed prefix of the ring."""
+        out = []
+        while self._ring and self._ring[0].done:
+            out.append(self._ring.popleft())
+        return out
+
+    def last_completed_cookie(self) -> int:
+        """Highest cookie known complete (-1 if none completed yet).
+
+        Because completion is in-order this is exactly the hardware's
+        status-writeback value.
+        """
+        last = self._next_cookie - len(self._ring) - 1
+        for d in self._ring:
+            if d.done:
+                last = d.cookie
+            else:
+                break
+        return last

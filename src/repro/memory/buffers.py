@@ -1,0 +1,141 @@
+"""Numpy-backed memory regions and address spaces.
+
+Every buffer in the simulator is a :class:`MemoryRegion`: a slice of real
+``uint8`` storage plus a unique virtual address.  Copies between regions move
+real bytes, so end-to-end data integrity is testable for every protocol path.
+
+An :class:`AddressSpace` is a bump allocator handing out page-aligned virtual
+addresses; each simulated process (and the kernel) owns one.  Virtual
+addresses are globally unique across the whole simulation, which doubles as
+the "DMA address" space (identity-mapped physical memory).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.memory.layout import page_range
+from repro.units import PAGE_SIZE
+
+# Global allocator for unique address ranges across all address spaces.
+_ADDR_COUNTER = itertools.count(start=1)
+_SPACE_STRIDE = 1 << 40  # 1 TiB of virtual space per AddressSpace
+
+
+class MemoryRegion:
+    """A contiguous byte range with real backing storage.
+
+    Parameters
+    ----------
+    addr:
+        Starting virtual address (globally unique).
+    data:
+        The backing ``uint8`` array (owned or a view).
+    owner:
+        The address space this region belongs to, if any.
+    """
+
+    __slots__ = ("addr", "data", "owner")
+
+    def __init__(self, addr: int, data: np.ndarray, owner: Optional["AddressSpace"] = None):
+        if data.dtype != np.uint8:
+            raise TypeError("MemoryRegion backing must be uint8")
+        self.addr = addr
+        self.data = data
+        self.owner = owner
+
+    # -- geometry -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self)
+
+    def pages(self) -> range:
+        """Page frame numbers spanned by this region."""
+        return page_range(self.addr, len(self))
+
+    def subregion(self, offset: int, length: int) -> "MemoryRegion":
+        """A view of ``[offset, offset+length)`` sharing the same storage."""
+        if offset < 0 or length < 0 or offset + length > len(self):
+            raise ValueError(
+                f"subregion [{offset}, {offset + length}) outside region of "
+                f"size {len(self)}"
+            )
+        return MemoryRegion(self.addr + offset, self.data[offset : offset + length], self.owner)
+
+    # -- data access ----------------------------------------------------------
+
+    def write(self, offset: int, payload: bytes | np.ndarray) -> None:
+        """Store ``payload`` at ``offset``."""
+        buf = np.frombuffer(payload, dtype=np.uint8) if isinstance(payload, (bytes, bytearray)) else payload
+        if offset < 0 or offset + buf.size > len(self):
+            raise ValueError("write outside region")
+        self.data[offset : offset + buf.size] = buf
+
+    def read(self, offset: int = 0, length: Optional[int] = None) -> np.ndarray:
+        """A view of ``length`` bytes at ``offset``."""
+        if length is None:
+            length = len(self) - offset
+        if offset < 0 or length < 0 or offset + length > len(self):
+            raise ValueError("read outside region")
+        return self.data[offset : offset + length]
+
+    def tobytes(self) -> bytes:
+        return self.data.tobytes()
+
+    def fill_pattern(self, seed: int = 0) -> None:
+        """Fill with a cheap deterministic pattern (for tests/benchmarks)."""
+        n = len(self)
+        idx = np.arange(n, dtype=np.uint32)
+        self.data[:] = ((idx * 2654435761 + seed * 97) >> 8).astype(np.uint8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryRegion addr={self.addr:#x} len={len(self)}>"
+
+
+def copy_bytes(src: MemoryRegion, src_off: int, dst: MemoryRegion, dst_off: int, length: int) -> None:
+    """Move real bytes between regions (the data plane of every copy path)."""
+    if length == 0:
+        return
+    dst.data[dst_off : dst_off + length] = src.data[src_off : src_off + length]
+
+
+class AddressSpace:
+    """Bump allocator for page-aligned, globally-unique virtual ranges."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.base = next(_ADDR_COUNTER) * _SPACE_STRIDE
+        self._brk = self.base
+        #: total bytes ever allocated (diagnostics)
+        self.allocated = 0
+
+    def alloc(self, length: int, align: int = PAGE_SIZE, fill: Optional[int] = None) -> MemoryRegion:
+        """Allocate ``length`` bytes aligned to ``align``.
+
+        ``fill`` optionally initialises every byte to a constant.
+        """
+        if length < 0:
+            raise ValueError("negative allocation")
+        if align < 1 or (align & (align - 1)):
+            raise ValueError("alignment must be a power of two")
+        addr = (self._brk + align - 1) & ~(align - 1)
+        self._brk = addr + max(length, 1)
+        self.allocated += length
+        data = np.zeros(length, dtype=np.uint8)
+        if fill is not None:
+            data[:] = fill
+        return MemoryRegion(addr, data, owner=self)
+
+    def alloc_pages(self, n_pages: int) -> MemoryRegion:
+        """Allocate ``n_pages`` whole pages (kernel page allocator model)."""
+        return self.alloc(n_pages * PAGE_SIZE, align=PAGE_SIZE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AddressSpace {self.name!r} base={self.base:#x}>"

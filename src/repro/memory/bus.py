@@ -1,0 +1,71 @@
+"""Memory-bus contention between CPU copies and NIC DMA ingress.
+
+On the paper's FSB-era platform, the receive-side memcpy competes with the
+NIC's DMA stream for chipset memory bandwidth ("severe pressure on the CPU
+and memory bus", §II-B).  We model this with a fluid approximation: the bus
+has a total bandwidth; the NIC's recent ingress rate is measured over a
+sliding window; an uncached CPU copy, which moves ``traffic_multiplier``
+bytes of bus traffic per payload byte, gets the residual share:
+
+    effective_bw = clamp(min(cpu_bw, (total - nic_rate) / multiplier),
+                         min_copy_bw, cpu_bw)
+
+Cache-resident copies bypass the bus entirely.  The I/OAT engine sits inside
+the memory chipset with its own paths (Fig. 4), so its transfers are not
+throttled by this model either — that asymmetry is precisely why offloading
+helps beyond just freeing the CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.params import BusParams
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.scheduler import Simulator
+
+
+class MemoryBus:
+    """Sliding-window ingress tracking + residual-bandwidth arithmetic."""
+
+    def __init__(self, sim: "Simulator", params: BusParams):
+        self.sim = sim
+        self.params = params
+        self._ingress: deque[tuple[int, int]] = deque()  # (time, bytes)
+        self._ingress_bytes_in_window = 0
+        #: lifetime ingress bytes (diagnostics)
+        self.total_ingress = 0
+
+    # -- NIC side --------------------------------------------------------------
+
+    def record_dma_write(self, nbytes: int) -> None:
+        """Account a NIC (or other device) DMA write into host memory."""
+        self._ingress.append((self.sim.now, nbytes))
+        self._ingress_bytes_in_window += nbytes
+        self.total_ingress += nbytes
+        self._trim()
+
+    def _trim(self) -> None:
+        horizon = self.sim.now - self.params.rate_window
+        q = self._ingress
+        while q and q[0][0] < horizon:
+            _, nbytes = q.popleft()
+            self._ingress_bytes_in_window -= nbytes
+
+    def nic_ingress_rate(self) -> float:
+        """Recent device-ingress rate in bytes/s."""
+        self._trim()
+        if not self._ingress:
+            return 0.0
+        return self._ingress_bytes_in_window * SEC / self.params.rate_window
+
+    # -- CPU copy side ------------------------------------------------------------
+
+    def effective_copy_bw(self, cpu_bw: float) -> float:
+        """Uncached-copy bandwidth available right now (bytes/s)."""
+        residual = (self.params.total_bw - self.nic_ingress_rate()) / self.params.traffic_multiplier
+        bw = min(cpu_bw, residual)
+        return max(bw, min(self.params.min_copy_bw, cpu_bw))

@@ -1,0 +1,121 @@
+"""CPU memcpy cost model.
+
+A CPU copy's duration depends on where the data is:
+
+* both ends resident in the executing core's L2 → ``cached_copy_bw``
+  (~6 GiB/s sustained; Fig. 10 plateau);
+* resident only in a *remote* die's cache, or not resident at all →
+  uncached bandwidth (~1.55 GiB/s), further scaled by
+  ``remote_socket_factor`` for cross-socket sources and throttled by
+  memory-bus contention with NIC ingress (see :mod:`repro.memory.bus`);
+* every chunk pays a fixed ``setup_cost`` (Fig. 7's memcpy curves).
+
+Copies have side effects: real bytes move, and the touched pages enter the
+executing core's L2 (cache pollution — the reason multi-megabyte memcpys
+evict everything, §V).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.memory.buffers import MemoryRegion, copy_bytes
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import CacheDirectory
+from repro.memory.layout import count_page_aligned_chunks, iter_chunks
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.params import HostParams
+    from repro.simkernel.cpu import Core
+
+
+class CpuCopier:
+    """Performs CPU copies with calibrated costs and cache side effects."""
+
+    def __init__(self, params: "HostParams", bus: MemoryBus, caches: CacheDirectory):
+        self.params = params
+        self.bus = bus
+        self.caches = caches
+        #: lifetime bytes copied by the CPU (diagnostics / Fig. 9 analysis)
+        self.bytes_copied = 0
+        self.calls = 0
+
+    # -- cost arithmetic -----------------------------------------------------
+
+    def _blended_bw(self, core: "Core", src: MemoryRegion, src_off: int,
+                    dst: MemoryRegion, dst_off: int, length: int) -> float:
+        """Bandwidth for this copy given current cache/bus state."""
+        p = self.params
+        local = self.caches[core.die]
+        # The copy rate is governed by where the *source* lives: loads from
+        # memory stall the pipeline, while stores are buffered/allocated
+        # regardless.  (Receive-path sources are skbuffs freshly invalidated
+        # by NIC DMA, hence always cold — the §II-B bottleneck.)
+        warm = local.residency(src.addr + src_off, length)
+
+        uncached = self.bus.effective_copy_bw(p.memcpy.uncached_bw)
+        # A cold source that lives warm in another socket's cache is served
+        # by a slow FSB cache-to-cache transfer.
+        if warm < 1.0 and self._resident_remote_socket(core, src.addr + src_off, length):
+            uncached *= p.memcpy.remote_socket_factor
+
+        cached = p.cache.cached_copy_bw
+        # Harmonic blend: time per byte is the mix of per-byte times.
+        per_byte = warm / cached + (1.0 - warm) / uncached
+        return 1.0 / per_byte
+
+    def _resident_remote_socket(self, core: "Core", addr: int, length: int) -> bool:
+        dies_per_socket = self.params.dies_per_socket
+        my_socket = core.die // dies_per_socket
+        for cache in self.caches.caches:
+            if cache.die // dies_per_socket != my_socket and cache.residency(addr, length) > 0.5:
+                return True
+        return False
+
+    def copy_cost(self, core: "Core", src: MemoryRegion, src_off: int,
+                  dst: MemoryRegion, dst_off: int, length: int,
+                  chunk: Optional[int] = None) -> int:
+        """Predicted CPU ticks for this copy (no side effects).
+
+        ``chunk`` overrides the chunking: by default copies split at page
+        boundaries of either buffer (the DMA-address constraint applies to
+        the skbuff layout the data came in, so memcpy inherits the same
+        segmentation in the BH path).
+        """
+        if length <= 0:
+            return 0
+        if chunk is not None:
+            n_chunks = sum(1 for _ in iter_chunks(0, length, chunk))
+        else:
+            n_chunks = count_page_aligned_chunks(src.addr + src_off, dst.addr + dst_off, length)
+        bw = self._blended_bw(core, src, src_off, dst, dst_off, length)
+        move = int(round(length * SEC / bw))
+        return n_chunks * self.params.memcpy.setup_cost + max(move, 1)
+
+    # -- execution ---------------------------------------------------------------
+
+    def memcpy(self, core: "Core", src: MemoryRegion, src_off: int,
+               dst: MemoryRegion, dst_off: int, length: int, category: str,
+               chunk: Optional[int] = None) -> Generator:
+        """Copy with CPU time charged to ``category``; caller holds ``core``.
+
+        Moves the real bytes and applies cache pollution.  Returns the cost
+        in ticks.
+        """
+        cost = self.copy_cost(core, src, src_off, dst, dst_off, length, chunk)
+        yield from core.busy(cost, category)
+        copy_bytes(src, src_off, dst, dst_off, length)
+        cache = self.caches[core.die]
+        cache.touch(src.addr + src_off, length)
+        cache.touch(dst.addr + dst_off, length)
+        # Stores take the destination lines exclusive: every other cache's
+        # copy is invalidated (MESI).  This is what keeps ping-pong copies
+        # between sockets permanently slow (Fig. 10): each side's data is
+        # dirty in the other side's cache.
+        for other in self.caches.caches:
+            if other is not cache:
+                other.invalidate(dst.addr + dst_off, length)
+        self.bytes_copied += length
+        self.calls += 1
+        return cost

@@ -1,0 +1,84 @@
+"""Page math and page-aligned chunking.
+
+The I/OAT hardware manipulates DMA (physical) addresses, so a copy whose
+source or destination crosses a page boundary must be split into page-aligned
+chunks — each chunk becomes one DMA descriptor (§IV-A, Fig. 7).  The same
+splitting applies to pinning and to skbuff page fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.units import PAGE_SIZE
+
+
+def page_of(addr: int) -> int:
+    """Page frame number containing byte address ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def page_offset(addr: int) -> int:
+    """Offset of ``addr`` within its page."""
+    return addr % PAGE_SIZE
+
+
+def pages_spanned(addr: int, length: int) -> int:
+    """Number of distinct pages touched by ``[addr, addr+length)``."""
+    if length <= 0:
+        return 0
+    first = page_of(addr)
+    last = page_of(addr + length - 1)
+    return last - first + 1
+
+
+def page_range(addr: int, length: int) -> range:
+    """Iterable of page frame numbers spanned by the byte range."""
+    if length <= 0:
+        return range(0)
+    return range(page_of(addr), page_of(addr + length - 1) + 1)
+
+
+def iter_chunks(offset: int, length: int, chunk: int) -> Iterator[tuple[int, int]]:
+    """Split ``[offset, offset+length)`` into fixed-size chunks.
+
+    Yields ``(chunk_offset, chunk_len)`` pairs.  The final chunk may be
+    short.  This is the splitting used by the Fig. 7 micro-benchmark, which
+    streams a copy in fixed 256 B / 1 kB / 4 kB pieces.
+    """
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    pos = offset
+    end = offset + length
+    while pos < end:
+        n = min(chunk, end - pos)
+        yield pos, n
+        pos += n
+
+
+def page_aligned_chunks(
+    src_addr: int, dst_addr: int, length: int
+) -> Iterator[tuple[int, int, int]]:
+    """Split a copy into chunks that cross no page boundary on either side.
+
+    Yields ``(src_off, dst_off, chunk_len)`` where the offsets are relative
+    to the start of the copy.  Each yielded chunk corresponds to one DMA
+    descriptor: its source bytes live in a single source page and its
+    destination bytes in a single destination page.
+
+    In the common case of mutually page-aligned buffers this yields whole
+    4 kB pages ("most Open-MX copies should consist of one or two chunks per
+    page", §IV-A); misaligned buffers yield up to two chunks per page.
+    """
+    pos = 0
+    while pos < length:
+        src_room = PAGE_SIZE - page_offset(src_addr + pos)
+        dst_room = PAGE_SIZE - page_offset(dst_addr + pos)
+        n = min(src_room, dst_room, length - pos)
+        yield pos, pos, n
+        pos += n
+
+
+def count_page_aligned_chunks(src_addr: int, dst_addr: int, length: int) -> int:
+    """Number of DMA descriptors a copy would need (see above)."""
+    return sum(1 for _ in page_aligned_chunks(src_addr, dst_addr, length))

@@ -1,0 +1,82 @@
+"""Memory pinning (registration) model.
+
+DMA hardware — the NIC and the I/OAT engine alike — addresses physical
+memory, so any page handed to it must be pinned (``get_user_pages``).  The
+paper's receive path relies on two standing facts (§II-C): incoming skbuffs
+are already pinned by the kernel allocator, and Open-MX pins its receive
+buffers (the static eager ring at endpoint creation, large-message regions at
+rendezvous time).  Pinning costs CPU time inside a system call, which is the
+bulk of the "Driver" band in Fig. 9 and what the registration cache of
+Fig. 11 amortises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.memory.buffers import MemoryRegion
+from repro.memory.layout import pages_spanned
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.params import HostParams
+    from repro.simkernel.cpu import Core
+
+
+class PinnedRegion:
+    """A pinned (DMA-able) view of a memory region."""
+
+    __slots__ = ("region", "n_pages", "pinned", "refcount")
+
+    def __init__(self, region: MemoryRegion):
+        self.region = region
+        self.n_pages = pages_spanned(region.addr, len(region))
+        self.pinned = True
+        #: registration-cache reference count
+        self.refcount = 1
+
+    def unpin(self) -> None:
+        if not self.pinned:
+            raise RuntimeError("double unpin")
+        self.pinned = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pinned" if self.pinned else "unpinned"
+        return f"<PinnedRegion {state} addr={self.region.addr:#x} pages={self.n_pages}>"
+
+
+class Pinner:
+    """Performs pin/unpin operations, charging CPU time to a category.
+
+    The cost model is ``pin_base_cost + n_pages * pin_page_cost`` — a fixed
+    syscall-path cost plus per-page page-table walking and refcounting.
+    """
+
+    def __init__(self, params: "HostParams"):
+        self.params = params
+        #: cumulative statistics (used by tests and the Fig. 11 analysis)
+        self.pin_calls = 0
+        self.pages_pinned = 0
+        self.unpin_calls = 0
+
+    def pin_cost(self, region: MemoryRegion) -> int:
+        """CPU ticks needed to pin ``region``."""
+        n = pages_spanned(region.addr, len(region))
+        return self.params.pin_base_cost + n * self.params.pin_page_cost
+
+    def pin(self, core: "Core", region: MemoryRegion, category: str = "driver") -> Generator:
+        """Pin ``region``; the caller must hold ``core``.
+
+        Returns the :class:`PinnedRegion`.
+        """
+        yield from core.busy(self.pin_cost(region), category)
+        self.pin_calls += 1
+        self.pages_pinned += pages_spanned(region.addr, len(region))
+        return PinnedRegion(region)
+
+    def unpin(self, core: "Core", pinned: PinnedRegion, category: str = "driver") -> Generator:
+        """Release a pinned region (cheap: per-page put_page)."""
+        cost = self.params.pin_base_cost // 3 + pinned.n_pages * (self.params.pin_page_cost // 4)
+        yield from core.busy(cost, category)
+        pinned.unpin()
+        self.unpin_calls += 1
+        return None

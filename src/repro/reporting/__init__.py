@@ -1,0 +1,6 @@
+"""Result containers, ASCII rendering, CSV export, experiment registry."""
+
+from repro.reporting.figures import Figure, Series, ascii_plot
+from repro.reporting.table import Table
+
+__all__ = ["Figure", "Series", "Table", "ascii_plot"]

@@ -1,0 +1,155 @@
+"""Series/figure containers with ASCII rendering and CSV export.
+
+The benchmark harness regenerates each paper figure as a :class:`Figure` —
+a set of named series over message/copy sizes — printed as a log-x ASCII
+chart plus a value table, and exportable to CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Series:
+    """One labelled curve."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def y_at(self, x: float) -> Optional[float]:
+        for xi, yi in zip(self.xs, self.ys):
+            if xi == x:
+                return yi
+        return None
+
+
+@dataclass
+class Figure:
+    """A reproduced paper figure."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, width: int = 72, height: int = 18) -> str:
+        header = f"== {self.figure_id}: {self.title} =="
+        chart = ascii_plot(self.series, width=width, height=height,
+                           xlabel=self.xlabel, ylabel=self.ylabel)
+        return f"{header}\n{chart}\n{self.value_table()}"
+
+    def value_table(self) -> str:
+        """Numbers behind the plot, one row per x."""
+        xs = sorted({x for s in self.series for x in s.xs})
+        name_w = max(12, *(len(s.label) for s in self.series)) if self.series else 12
+        head = f"{self.xlabel:>14} | " + " | ".join(
+            f"{s.label:>{name_w}}" for s in self.series
+        )
+        lines = [head, "-" * len(head)]
+        for x in xs:
+            cells = []
+            for s in self.series:
+                y = s.y_at(x)
+                cells.append(f"{y:>{name_w}.1f}" if y is not None else " " * name_w)
+            lines.append(f"{_fmt_size(x):>14} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        xs = sorted({x for s in self.series for x in s.xs})
+        rows = [",".join([self.xlabel] + [s.label for s in self.series])]
+        for x in xs:
+            cells = [str(int(x) if float(x).is_integer() else x)]
+            for s in self.series:
+                y = s.y_at(x)
+                cells.append("" if y is None else f"{y:.3f}")
+            rows.append(",".join(cells))
+        return "\n".join(rows) + "\n"
+
+
+def _fmt_size(x: float) -> str:
+    n = int(x)
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}MiB"
+    if n >= 1 << 10 and n % (1 << 10) == 0:
+        return f"{n >> 10}KiB"
+    return f"{n}B"
+
+
+_MARKS = "*+ox#@%&"
+
+
+def ascii_plot(series: list[Series], width: int = 72, height: int = 18,
+               xlabel: str = "", ylabel: str = "", logx: bool = True) -> str:
+    """Render curves on a character grid (log-x by default, like the paper)."""
+    pts = [(x, y) for s in series for x, y in zip(s.xs, s.ys)]
+    if not pts:
+        return "(empty figure)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+
+    def xpos(x: float) -> int:
+        if logx and x_lo > 0 and x_hi > x_lo:
+            t = (math.log(x) - math.log(x_lo)) / (math.log(x_hi) - math.log(x_lo))
+        elif x_hi > x_lo:
+            t = (x - x_lo) / (x_hi - x_lo)
+        else:
+            t = 0.0
+        return min(width - 1, max(0, int(t * (width - 1))))
+
+    def ypos(y: float) -> int:
+        t = (y - y_lo) / (y_hi - y_lo) if y_hi > y_lo else 0.0
+        return min(height - 1, max(0, int(t * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        mark = _MARKS[si % len(_MARKS)]
+        last = None
+        for x, y in zip(s.xs, s.ys):
+            cx, cy = xpos(x), ypos(y)
+            if last is not None:
+                # crude line interpolation between consecutive points
+                lx, ly = last
+                steps = max(abs(cx - lx), abs(cy - ly), 1)
+                for k in range(steps + 1):
+                    gx = lx + (cx - lx) * k // steps
+                    gy = ly + (cy - ly) * k // steps
+                    if grid[height - 1 - gy][gx] == " ":
+                        grid[height - 1 - gy][gx] = "."
+            grid[height - 1 - cy][cx] = mark
+            last = (cx, cy)
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * r / (height - 1)
+        lines.append(f"{y_val:>9.0f} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':>10} {_fmt_size(x_lo)}{'':>{max(width - 20, 1)}}{_fmt_size(x_hi)}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"  [{ylabel} vs {xlabel}]  {legend}")
+    return "\n".join(lines)

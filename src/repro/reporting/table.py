@@ -1,0 +1,46 @@
+"""Minimal ASCII table renderer for benchmark output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Table:
+    """Column-aligned text table with a title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        head = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            for row in self.rows
+        ]
+        return "\n".join([f"== {self.title} ==", head, sep] + body)
+
+    def to_csv(self) -> str:
+        out = [",".join(self.columns)]
+        out += [",".join(r) for r in self.rows]
+        return "\n".join(out) + "\n"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,22 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors (misuse of events, deadlocks...)."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries whatever object the interrupter passed,
+    e.g. a retransmit-timeout marker.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupted(cause={self.cause!r})"

@@ -1,0 +1,118 @@
+"""Generator-coroutine processes.
+
+A process wraps a generator.  The generator ``yield``\\ s :class:`Event`
+instances; the process resumes it with the event's value once the event
+triggers, or throws the event's exception into it.  The :class:`Process`
+object is itself an :class:`Event` that succeeds with the generator's return
+value (``StopIteration.value``), so processes can be joined by yielding them.
+
+Interrupts: :meth:`Process.interrupt` throws :class:`Interrupted` into the
+generator at the current simulation time, detaching it from whatever event it
+was waiting on.  The interrupted process may catch the exception and continue
+(the event it was waiting on stays valid and can be re-yielded).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.simkernel.errors import Interrupted, SimulationError
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.scheduler import Simulator
+
+
+class Process(Event):
+    """A running generator, joinable as an event."""
+
+    __slots__ = ("_gen", "_target", "_waiting_cb")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self._waiting_cb = self._resume
+        # Kick off at the current time (same-tick, FIFO with other work).
+        sim._call_soon(lambda: self._step(None, None))
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event the process is currently blocked on, if any."""
+        return self._target
+
+    # -- driving -----------------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:  # interrupted-and-finished before callback ran
+            return
+        if ev is not self._target:
+            return  # stale wakeup after an interrupt re-targeted us
+        self._target = None
+        if ev.exception is not None:
+            self._step(None, ev.exception)
+        else:
+            self._step(ev.value, None)
+
+    def _step(self, value: object, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted as uncaught:
+            # An uncaught interrupt terminates the process "successfully
+            # cancelled": it fails the join event with the interrupt.
+            self.fail(uncaught)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must "
+                    "yield Event instances"
+                )
+            )
+            return
+        if target is self:
+            self._gen.close()
+            self.fail(SimulationError(f"process {self.name!r} waited on itself"))
+            return
+        self._target = target
+        target.add_callback(self._waiting_cb)
+
+    # -- interrupts ----------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        if self.triggered:
+            return
+
+        def deliver() -> None:
+            if self.triggered:
+                return
+            # Detach from the current wait; a stale wakeup is filtered in
+            # _resume by the identity check on _target.
+            self._target = None
+            self._step(None, Interrupted(cause))
+
+        self.sim._call_soon(deliver)

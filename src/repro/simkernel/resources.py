@@ -1,0 +1,150 @@
+"""FIFO resources and stores.
+
+:class:`Resource` is a counted FIFO lock (capacity >= 1).  ``request()``
+returns an event that succeeds when a slot is granted; ``release()`` hands
+the slot to the next waiter.  The common acquire/work/release pattern is
+packaged as the generator helper :meth:`Resource.using`.
+
+:class:`Store` is an unbounded-or-bounded FIFO queue of items with blocking
+``get``/``put`` following the same event discipline.  It is the building
+block for packet queues, event rings and softirq work lists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.scheduler import Simulator
+
+
+class Resource:
+    """A counted FIFO lock."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event succeeds when granted."""
+        ev = Event(self.sim, f"{self.name}.request")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Give a slot back, waking the next FIFO waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed(self)  # slot transfers; _in_use unchanged
+        else:
+            self._in_use -= 1
+
+    def using(self, work: Generator) -> Generator:
+        """``yield from`` helper: hold a slot for the duration of ``work``."""
+        yield self.request()
+        try:
+            result = yield from work
+        finally:
+            self.release()
+        return result
+
+
+class Store:
+    """FIFO queue with blocking get/put.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: object) -> Event:
+        """Queue ``item``; the returned event succeeds once it is stored."""
+        ev = Event(self.sim, f"{self.name}.put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: object) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; the event succeeds with the item."""
+        ev = Event(self.sim, f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, object]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._drain_putters()
+            return True, item
+        return False, None
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed(None)

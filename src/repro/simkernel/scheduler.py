@@ -1,0 +1,149 @@
+"""The event loop: a heap of (time, sequence, action) triples.
+
+Two kinds of entries live on the heap:
+
+* *timeouts* — trigger an :class:`Event` at an absolute time;
+* *dispatches* — run the callback list of an already-triggered event, or a
+  bare thunk (used for same-tick callback registration on triggered events).
+
+Ties at equal times fire in scheduling order (monotonic sequence numbers), so
+the simulation is deterministic regardless of hash ordering or allocation
+addresses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.event import Event, Timeout
+
+
+class Simulator:
+    """Discrete-event scheduler with integer-nanosecond time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._running = False
+        #: number of events processed; useful for runaway detection in tests
+        self.events_processed: int = 0
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: object = None, name: str = "") -> Timeout:
+        """Create an event that succeeds ``delay`` ticks from now."""
+        return Timeout(self, delay, value, name)
+
+    def process(self, gen: Generator, name: str = "") -> "Process":
+        """Spawn a generator as a process; returns its completion event."""
+        from repro.simkernel.process import Process
+
+        return Process(self, gen, name)
+
+    def daemon(self, gen: Generator, name: str = "") -> "Process":
+        """Spawn a background service whose failure aborts the simulation.
+
+        Daemons (softirq engines, DMA channels, protocol timers...) are
+        never joined, so a plain process would swallow their exceptions and
+        the simulation would silently wedge.  A daemon re-raises instead.
+        """
+        proc = self.process(gen, name)
+
+        def check(ev: "Process") -> None:
+            if ev.exception is not None:
+                raise SimulationError(
+                    f"daemon {name or gen!r} died: {ev.exception!r}"
+                ) from ev.exception
+
+        proc.add_callback(check)
+        return proc
+
+    # -- internal scheduling ----------------------------------------------
+
+    def _push(self, when: int, action: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, action))
+
+    def _schedule_timeout(self, ev: Event, delay: int, value: object) -> None:
+        def fire() -> None:
+            ev.succeed(value)
+
+        self._push(self.now + delay, fire)
+
+    def _dispatch(self, ev: Event) -> None:
+        """Queue a triggered event's callbacks to run at the current time."""
+        callbacks = ev.callbacks
+        ev.callbacks = None  # marks "dispatched"; late add_callback self-schedules
+
+        def run() -> None:
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(ev)
+
+        self._push(self.now, run)
+
+    def _call_soon(self, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` at the current simulation time, after queued work."""
+        self._push(self.now, thunk)
+
+    # -- run loop ----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            count = 0
+            while self._heap:
+                when, _seq, action = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                action()
+                self.events_processed += 1
+                count += 1
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until(self, ev: Event, max_events: Optional[int] = None) -> object:
+        """Run until ``ev`` triggers; return its value (or raise its error)."""
+        count = 0
+        while not ev.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event {ev!r} cannot trigger, no pending events"
+                )
+            when, _seq, action = heapq.heappop(self._heap)
+            self.now = when
+            action()
+            self.events_processed += 1
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return ev.value
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled action, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,129 @@
+"""Units and physical constants used throughout the simulator.
+
+The simulation kernel measures time in **integer nanoseconds** so that event
+ordering is exact and runs are bit-reproducible.  All helpers in this module
+convert to/from that base unit.
+
+Sizes are measured in bytes; the usual binary multiples are provided.  The
+paper (and this reproduction) reports throughput in MiB/s, so conversion
+helpers for that are provided too.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time: base unit is the nanosecond (int).
+# --------------------------------------------------------------------------
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns(x: float) -> int:
+    """Convert a value in nanoseconds to integer simulator ticks."""
+    return int(round(x))
+
+
+def us(x: float) -> int:
+    """Convert microseconds to integer simulator ticks."""
+    return int(round(x * US))
+
+
+def ms(x: float) -> int:
+    """Convert milliseconds to integer simulator ticks."""
+    return int(round(x * MS))
+
+
+def seconds(x: float) -> int:
+    """Convert seconds to integer simulator ticks."""
+    return int(round(x * SEC))
+
+
+def to_seconds(t: int) -> float:
+    """Convert simulator ticks back to floating-point seconds."""
+    return t / SEC
+
+
+def to_us(t: int) -> float:
+    """Convert simulator ticks back to floating-point microseconds."""
+    return t / US
+
+
+# --------------------------------------------------------------------------
+# Sizes.
+# --------------------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+
+#: Size of a host memory page (x86).
+PAGE_SIZE = 4096
+
+
+# --------------------------------------------------------------------------
+# Bandwidth helpers.  Bandwidths are stored as bytes/second (float) in
+# parameter blocks and converted to per-byte nanosecond costs on use.
+# --------------------------------------------------------------------------
+
+
+def bandwidth_gib_s(x: float) -> float:
+    """A bandwidth expressed in GiB/s, returned in bytes/second."""
+    return x * GiB
+
+
+def bandwidth_mib_s(x: float) -> float:
+    """A bandwidth expressed in MiB/s, returned in bytes/second."""
+    return x * MiB
+
+
+def transfer_time(nbytes: int, bytes_per_second: float) -> int:
+    """Time in ticks to move ``nbytes`` at ``bytes_per_second``.
+
+    Always at least 1 tick for a non-empty transfer so that zero-duration
+    events cannot starve the scheduler.
+    """
+    if nbytes <= 0:
+        return 0
+    t = int(round(nbytes * SEC / bytes_per_second))
+    return max(t, 1)
+
+
+def throughput_mib_s(nbytes: int, elapsed_ticks: int) -> float:
+    """Observed throughput in MiB/s for ``nbytes`` moved in ``elapsed_ticks``."""
+    if elapsed_ticks <= 0:
+        return float("inf") if nbytes > 0 else 0.0
+    return nbytes / MiB * SEC / elapsed_ticks
+
+
+# --------------------------------------------------------------------------
+# Network constants.
+# --------------------------------------------------------------------------
+
+#: Actual data rate of 10 Gbit/s Ethernet as quoted by the paper:
+#: 9953 Mbit/s = 1244 MB/s = 1186 MiB/s.
+TEN_GBE_BITS_PER_SECOND = 9_953_000_000
+
+#: The same, in bytes per second.
+TEN_GBE_BYTES_PER_SECOND = TEN_GBE_BITS_PER_SECOND / 8
+
+#: Line rate in MiB/s (= 1186.4...), the asymptote of Figs. 3/8/11.
+TEN_GBE_LINE_RATE_MIB_S = TEN_GBE_BYTES_PER_SECOND / MiB
+
+#: Ethernet per-frame wire overhead in bytes: preamble+SFD (8), CRC (4),
+#: inter-frame gap (12).  The 14-byte MAC header is accounted separately
+#: because it is part of the frame buffer.
+ETHERNET_WIRE_OVERHEAD = 8 + 4 + 12
+
+#: MAC header length.
+ETHERNET_HEADER_LEN = 14
+
+#: Jumbo-frame MTU used by myri10ge-class 10G NICs (payload bytes after the
+#: MAC header).
+JUMBO_MTU = 9000

@@ -1,0 +1,29 @@
+"""Workload generators used by the evaluation.
+
+* :mod:`~repro.workloads.streams` — the unidirectional stream of synchronous
+  large messages behind Fig. 9's CPU-usage measurement.
+* :mod:`~repro.workloads.shm_pingpong` — intra-node ping-pong with explicit
+  core placement (Fig. 10).
+* :mod:`~repro.workloads.nas_is` — the communication kernel of NAS IS
+  (bucket-sort ranking: Allreduce of bucket histograms + Alltoallv of keys),
+  the benchmark the paper calls out for its large-message sensitivity.
+* :mod:`~repro.workloads.vectored` — highly-vectorial (scattered) buffers,
+  the §IV-A corner case that produces sub-kilobyte fragments.
+"""
+
+from repro.workloads.streams import StreamUsage, run_stream_usage
+from repro.workloads.shm_pingpong import run_shm_pingpong
+from repro.workloads.nas_is import run_nas_is
+from repro.workloads.pvfs import PvfsResult, run_pvfs_transfer
+from repro.workloads.vectored import VectoredCopyResult, measure_vectored_copy
+
+__all__ = [
+    "PvfsResult",
+    "StreamUsage",
+    "VectoredCopyResult",
+    "measure_vectored_copy",
+    "run_nas_is",
+    "run_pvfs_transfer",
+    "run_shm_pingpong",
+    "run_stream_usage",
+]

@@ -1,0 +1,142 @@
+"""The NAS IS communication kernel (§IV-D: "up to 10 % ... especially on IS
+which relies on large messages").
+
+NAS Integer Sort ranks N integer keys per process by bucket sort: each
+iteration computes local bucket histograms, Allreduces them, then
+redistributes the keys with an all-to-all(v) exchange whose blocks are
+large — the communication pattern that makes IS throughput-sensitive.
+
+We reproduce that kernel (not the full verification machinery): real keys
+are generated, really histogrammed and really exchanged, so the result can
+be checked for sortedness; the timed part is dominated by the Alltoallv,
+exactly as in the original benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.mpi.comm import Communicator, Rank
+from repro.units import GiB, SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.testbed import Testbed
+
+#: local compute rate for histogram/permutation work (keys/s equivalent in
+#: bytes/s) — only affects the compute/communication ratio, not the ranking
+COMPUTE_BW = 1.5 * GiB
+
+
+@dataclass
+class NasIsResult:
+    total_time_us: float
+    comm_time_us: float
+    keys_per_rank: int
+    iterations: int
+    sorted_ok: bool
+
+
+def run_nas_is(tb: "Testbed", comm: Communicator, keys_per_rank: int = 1 << 16,
+               iterations: int = 3,
+               max_events: Optional[int] = 400_000_000) -> NasIsResult:
+    """Run the IS kernel; keys are 4-byte integers."""
+    p = comm.size
+    n_bytes = keys_per_rank * 4
+    marks: dict = {"comm": 0}
+    final_keys: dict[int, np.ndarray] = {}
+
+    def body(rank: Rank):
+        rng = np.random.default_rng(1234 + rank.rank)
+        keys = rng.integers(0, p * 4096, size=keys_per_rank, dtype=np.uint32)
+        key_buf = rank.space.alloc(n_bytes)
+        recv_buf = rank.space.alloc(n_bytes * p)
+        hist_s = rank.space.alloc(p * 4)
+        hist_r = rank.space.alloc(p * 4)
+
+        yield from rank.barrier()
+        if rank.rank == 0:
+            marks["t0"] = rank.sim.now
+
+        for _ in range(iterations):
+            # 1. local histogram over p coarse buckets (charged compute)
+            yield from rank.core.execute(
+                max(int(n_bytes * SEC / COMPUTE_BW), 1), "user"
+            )
+            bucket = (keys.astype(np.uint64) * p // (p * 4096)).astype(np.uint32)
+            counts = np.bincount(bucket, minlength=p).astype(np.uint32)
+            hist_s.read().view(np.uint32)[:p] = counts
+
+            # 2. Allreduce the histograms (small message)
+            c0 = rank.sim.now
+            yield from rank.allreduce(hist_s, hist_r, length=p * 4)
+
+            # 3. sort keys by destination bucket, exchange counts, then the
+            # big Alltoallv of the keys themselves (large messages)
+            order = np.argsort(bucket, kind="stable")
+            keys_sorted = keys[order]
+            key_buf.read().view(np.uint32)[:] = keys_sorted
+            send_counts = [int(c) * 4 for c in counts]
+            # exchange per-destination counts so everyone can size receives
+            cnt_s = rank.space.alloc(p * 4)
+            cnt_r = rank.space.alloc(p * 4)
+            cnt_s.read().view(np.uint32)[:p] = counts
+            yield from rank.alltoall(cnt_s, cnt_r, 4)
+            recv_counts = [int(c) * 4 for c in cnt_r.read().view(np.uint32)[:p]]
+
+            # alltoallv via point-to-point (blocks are uneven)
+            sdispl = np.concatenate([[0], np.cumsum(send_counts)[:-1]]).astype(int)
+            rdispl = np.concatenate([[0], np.cumsum(recv_counts)[:-1]]).astype(int)
+            reqs = []
+            for step in range(p):
+                src = (rank.rank - step) % p
+                if recv_counts[src]:
+                    r = yield from rank.irecv(src, recv_buf, int(rdispl[src]),
+                                              recv_counts[src], tag=0x5A)
+                    reqs.append(r)
+            for step in range(p):
+                dst = (rank.rank + step) % p
+                if send_counts[dst]:
+                    s = yield from rank.isend(dst, key_buf, int(sdispl[dst]),
+                                              send_counts[dst], tag=0x5A)
+                    reqs.append(s)
+            for r in reqs:
+                yield from rank.wait(r)
+            if rank.rank == 0:
+                marks["comm"] += rank.sim.now - c0
+
+            # 4. local ranking of received keys (charged compute)
+            total_recv = sum(recv_counts)
+            yield from rank.core.execute(
+                max(int(total_recv * SEC / COMPUTE_BW), 1), "user"
+            )
+            mine = recv_buf.read(0, total_recv).view(np.uint32).copy()
+            mine.sort()
+            final_keys[rank.rank] = mine
+
+        yield from rank.barrier()
+        if rank.rank == 0:
+            marks["t1"] = rank.sim.now
+
+    comm.run_spmd(body, max_events=max_events)
+
+    # Global sortedness: each rank's keys sorted, and rank boundaries ordered.
+    ok = True
+    prev_max = -1
+    for r in range(p):
+        mine = final_keys.get(r)
+        if mine is None:
+            continue
+        if mine.size:
+            if prev_max > int(mine[0]):
+                ok = False
+            prev_max = int(mine[-1])
+    return NasIsResult(
+        total_time_us=(marks["t1"] - marks["t0"]) / 1000.0,
+        comm_time_us=marks["comm"] / 1000.0,
+        keys_per_rank=keys_per_rank,
+        iterations=iterations,
+        sorted_ok=ok,
+    )

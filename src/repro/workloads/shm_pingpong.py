@@ -1,0 +1,70 @@
+"""Intra-node ping-pong with explicit core placement (Fig. 10).
+
+Two processes on one host exchange a message back and forth through the
+Open-MX shared-memory path.  Placement selects the cache relationship:
+
+* ``"same_die"`` — both cores share an L2 ("same dual-core subchip");
+* ``"cross_socket"`` — cores on different packages.
+
+Returns the ping-pong throughput as the paper plots it (message size over
+half the round-trip time).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.units import throughput_mib_s
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.testbed import Testbed
+
+
+def run_shm_pingpong(tb: "Testbed", size: int, placement: str = "same_die",
+                     iterations: int = 8, warmup: int = 2,
+                     max_events: Optional[int] = 120_000_000) -> float:
+    """Ping-pong ``size`` bytes between two local processes; MiB/s."""
+    host = tb.hosts[0]
+    if placement == "same_die":
+        core_a, core_b = host.core_same_die_pair()
+    elif placement == "cross_socket":
+        core_a, core_b = host.core_cross_socket_pair()
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+
+    ep_a = tb.open_endpoint(0, 0)
+    ep_b = tb.open_endpoint(0, 1)
+    # Classic echo ping-pong: each side bounces the buffer it received, so
+    # every copy's source is data freshly written by the *other* side's
+    # core — the access pattern behind Fig. 10's flat cross-socket curve.
+    buf_a = ep_a.space.alloc(max(size, 1))
+    buf_b = ep_b.space.alloc(max(size, 1))
+    buf_a.fill_pattern(1)
+    marks = {}
+    done = tb.sim.event("shm-done")
+
+    def proc_a():
+        for i in range(warmup + iterations):
+            if i == warmup:
+                marks["start"] = tb.sim.now
+            sreq = yield from ep_a.isend(core_a, ep_b.addr, 0x21, buf_a, 0, size)
+            yield from ep_a.wait(core_a, sreq)
+            rreq = yield from ep_a.irecv(core_a, 0x22, ~0, buf_a, 0, size)
+            yield from ep_a.wait(core_a, rreq)
+        marks["end"] = tb.sim.now
+        done.succeed()
+
+    def proc_b():
+        for _ in range(warmup + iterations):
+            rreq = yield from ep_b.irecv(core_b, 0x21, ~0, buf_b, 0, size)
+            yield from ep_b.wait(core_b, rreq)
+            sreq = yield from ep_b.isend(core_b, ep_a.addr, 0x22, buf_b, 0, size)
+            yield from ep_b.wait(core_b, sreq)
+
+    tb.sim.process(proc_a(), name="shm-a")
+    tb.sim.process(proc_b(), name="shm-b")
+    tb.sim.run_until(done, max_events=max_events)
+    elapsed = marks["end"] - marks["start"]
+    # One iteration moves the message twice; the plotted throughput is
+    # size / (round-trip / 2).
+    return throughput_mib_s(2 * size * iterations, elapsed)

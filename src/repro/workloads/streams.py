@@ -1,0 +1,80 @@
+"""Unidirectional stream of synchronous large messages (Fig. 9).
+
+Node 0 sends ``iterations`` back-to-back blocking messages of one size to
+node 1; the receiver's CPU usage is decomposed into the paper's three bands
+— user-library, driver (syscalls incl. pinning) and BH receive — measured
+over the steady-state window and expressed as percent of one core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.mx.wire import EndpointAddr
+from repro.units import throughput_mib_s
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.testbed import Testbed
+
+
+@dataclass
+class StreamUsage:
+    """Receiver-side usage for one (size, config) stream run."""
+
+    size: int
+    iterations: int
+    throughput_mib_s: float
+    #: percent of one core, by category
+    user_pct: float
+    driver_pct: float
+    bh_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.user_pct + self.driver_pct + self.bh_pct
+
+
+def run_stream_usage(tb: "Testbed", size: int, iterations: int = 12,
+                     warmup: int = 2, max_events: Optional[int] = 120_000_000) -> StreamUsage:
+    """Stream ``iterations`` messages of ``size`` bytes node0 → node1."""
+    ep0 = tb.open_endpoint(0, 0)
+    ep1 = tb.open_endpoint(1, 0)
+    c0, c1 = tb.user_core(0), tb.user_core(1)
+    sbuf = ep0.space.alloc(size)
+    rbuf = ep1.space.alloc(size)
+    sbuf.fill_pattern(1)
+    receiver_host = tb.hosts[1]
+    marks = {}
+    done = tb.sim.event("stream-done")
+
+    def sender():
+        for _ in range(warmup + iterations):
+            req = yield from ep0.isend(c0, ep1.addr, 0x11, sbuf, 0, size)
+            yield from ep0.wait(c0, req)
+
+    def receiver():
+        for i in range(warmup + iterations):
+            req = yield from ep1.irecv(c1, 0x11, ~0, rbuf, 0, size)
+            yield from ep1.wait(c1, req)
+            if i == warmup - 1:
+                # Steady state begins: open the measurement window.
+                receiver_host.cpus.reset_counters()
+                marks["start"] = tb.sim.now
+        marks["end"] = tb.sim.now
+        done.succeed()
+
+    tb.sim.process(sender(), name="stream-sender")
+    tb.sim.process(receiver(), name="stream-receiver")
+    tb.sim.run_until(done, max_events=max_events)
+
+    elapsed = marks["end"] - marks["start"]
+    usage = receiver_host.cpus.usage_percent(elapsed)
+    return StreamUsage(
+        size=size,
+        iterations=iterations,
+        throughput_mib_s=throughput_mib_s(size * iterations, elapsed),
+        user_pct=usage.get("user", 0.0),
+        driver_pct=usage.get("driver", 0.0),
+        bh_pct=usage.get("bh", 0.0),
+    )

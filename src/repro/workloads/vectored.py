@@ -1,0 +1,56 @@
+"""Highly-vectorial buffer workloads (§IV-A corner case).
+
+"Such very small fragments may actually only be involved in Open-MX if the
+application uses highly-vectorial buffers": when an application sends from
+a scatter list of tiny segments, copies degrade into sub-kilobyte chunks
+where I/OAT submission overhead dominates — the reason for the 1 kB
+fragment threshold.
+
+This module provides a measurement of copy cost versus segment size for
+both engines, used by the threshold-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.host import Host
+from repro.memory.layout import iter_chunks
+from repro.units import SEC
+
+
+@dataclass
+class VectoredCopyResult:
+    segment: int
+    total: int
+    memcpy_ns: int
+    ioat_submit_ns: int
+    ioat_total_ns: int
+
+    @property
+    def memcpy_gib_s(self) -> float:
+        return self.total * SEC / self.memcpy_ns / (1 << 30) if self.memcpy_ns else 0.0
+
+    @property
+    def ioat_gib_s(self) -> float:
+        return self.total * SEC / self.ioat_total_ns / (1 << 30) if self.ioat_total_ns else 0.0
+
+
+def measure_vectored_copy(host: Host, total: int, segment: int) -> VectoredCopyResult:
+    """Cost of copying ``total`` bytes in ``segment``-sized pieces.
+
+    Uses the analytic cost models directly (no event loop needed): memcpy
+    setup per segment vs I/OAT descriptor submission + engine service per
+    segment — the trade-off behind ``ioat_min_frag``.
+    """
+    params = host.params
+    n_segments = sum(1 for _ in iter_chunks(0, total, segment))
+    # memcpy: per-segment setup + uncached move
+    move = int(round(total * SEC / params.memcpy.uncached_bw))
+    memcpy_ns = n_segments * params.memcpy.setup_cost + move
+    # I/OAT: CPU submission per descriptor; engine runs them in order
+    submit = n_segments * params.ioat.submit_cost
+    engine = sum(
+        host.ioat_engine[0].service_time(n) for _, n in iter_chunks(0, total, segment)
+    )
+    return VectoredCopyResult(segment, total, memcpy_ns, submit, max(submit, engine))

@@ -1,0 +1,78 @@
+"""Tests for the omx_counters-style statistics collection."""
+
+import pytest
+
+from repro import build_testbed
+from repro.core.counters import collect_counters, render_counters
+from repro.units import KiB, MiB
+
+
+def run_traffic(tb, size):
+    ep0, ep1 = tb.open_endpoint(0, 0), tb.open_endpoint(1, 0)
+    c0, c1 = tb.user_core(0), tb.user_core(1)
+    sbuf = ep0.space.alloc(size)
+    rbuf = ep1.space.alloc(size)
+    sbuf.fill_pattern(1)
+    done = tb.sim.event()
+
+    def sender():
+        req = yield from ep0.isend(c0, ep1.addr, 1, sbuf)
+        yield from ep0.wait(c0, req)
+
+    def receiver():
+        req = yield from ep1.irecv(c1, 1, ~0, rbuf)
+        yield from ep1.wait(c1, req)
+        done.succeed()
+
+    tb.sim.process(sender())
+    tb.sim.process(receiver())
+    tb.sim.run_until(done, max_events=30_000_000)
+    tb.sim.run(until=tb.sim.now + 2_000_000)
+
+
+class TestCounters:
+    def test_counters_reflect_large_transfer(self):
+        tb = build_testbed(ioat_enabled=True)
+        run_traffic(tb, 1 * MiB)
+        rx = collect_counters(tb.stacks[1])
+        tx = collect_counters(tb.stacks[0])
+        assert rx["pull_replies_rx"] == 128  # 1 MiB / 8 KiB
+        assert rx["offload_frags_dma"] > 0
+        assert rx["ioat_bytes_copied"] > 0
+        assert rx["active_pulls"] == 0  # all completed
+        assert tx["active_large_sends"] == 0
+        assert tx["nic_tx_frames"] >= 129  # RNDV + replies (+ acks)
+        assert rx["skbuffs_outstanding"] == tb.hosts[1].platform.nic.rx_ring_size
+
+    def test_counters_reflect_eager_transfer(self):
+        tb = build_testbed()
+        run_traffic(tb, 8 * KiB)
+        rx = collect_counters(tb.stacks[1])
+        assert rx["eager_rx"] == 2  # two 4 kB medium fragments
+        assert rx["pull_replies_rx"] == 0
+        assert rx["cpu_bytes_copied"] >= 8 * KiB
+
+    def test_regcache_counters(self):
+        tb = build_testbed()
+        run_traffic(tb, 1 * MiB)
+        rx = collect_counters(tb.stacks[1])
+        assert rx["pin_calls"] >= 1
+        assert rx["pages_pinned"] >= 256
+
+    def test_kmatch_counters_present_when_enabled(self):
+        tb = build_testbed(kernel_matching=True)
+        run_traffic(tb, 16 * KiB)
+        rx = collect_counters(tb.stacks[1])
+        assert rx["kmatch_matches"] + rx["kmatch_fallbacks"] >= 1
+
+    def test_kmatch_counters_absent_when_disabled(self):
+        tb = build_testbed()
+        run_traffic(tb, 16 * KiB)
+        assert "kmatch_matches" not in collect_counters(tb.stacks[1])
+
+    def test_render_is_printable(self):
+        tb = build_testbed()
+        run_traffic(tb, 64 * KiB)
+        text = render_counters(tb.stacks[1])
+        assert "pull_replies_rx" in text
+        assert "omx_counters" in text

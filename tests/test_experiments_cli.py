@@ -1,0 +1,37 @@
+"""Smoke tests for the experiment registry and the omx-repro CLI."""
+
+import os
+
+import pytest
+
+from repro.reporting.experiments import EXPERIMENTS, main, micro
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig7", "micro", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "nas",
+        }
+
+    def test_micro_runs_standalone(self):
+        table = micro()
+        assert any("submission" in row[0] for row in table.rows)
+
+
+class TestCli:
+    def test_cli_runs_micro(self, capsys):
+        assert main(["micro"]) == 0
+        out = capsys.readouterr().out
+        assert "350" in out
+
+    def test_cli_quick_fig7_with_csv(self, tmp_path, capsys):
+        csv = tmp_path / "fig7.csv"
+        assert main(["fig7", "--quick", "--csv", str(csv)]) == 0
+        assert csv.exists()
+        header = csv.read_text().splitlines()[0]
+        assert header.startswith("copy size,")
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

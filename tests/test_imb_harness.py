@@ -1,0 +1,67 @@
+"""Tests for the IMB harness semantics."""
+
+import pytest
+
+from repro import build_testbed
+from repro.imb import IMB_TESTS, run_imb
+from repro.mpi import create_world
+from repro.units import KiB, MiB
+
+
+def run(test, size, stack="omx", ppn=1, **omx):
+    tb = build_testbed(stacks=stack, **omx)
+    comm = create_world(tb, ppn=ppn)
+    return run_imb(tb, comm, test, size, iterations=3, warmup=1)
+
+
+class TestHarness:
+    def test_unknown_test_rejected(self):
+        tb = build_testbed()
+        comm = create_world(tb)
+        with pytest.raises(ValueError, match="unknown IMB test"):
+            run_imb(tb, comm, "Nonsense", 1024)
+
+    def test_all_eleven_tests_run(self):
+        for test in IMB_TESTS:
+            res = run(test, 4 * KiB)
+            assert res.t_avg_us > 0, test
+
+    def test_pingpong_reports_half_roundtrip(self):
+        res = run("PingPong", 4 * KiB)
+        # one-way time of a 4 kB eager exchange: a handful of microseconds
+        assert 3 < res.t_avg_us < 40
+
+    def test_pingpong_throughput_factor(self):
+        res = run("PingPong", 1 * MiB)
+        # MiB/s must equal size / t_avg
+        expect = 1 * MiB / (res.t_avg_us * 1e-6) / MiB
+        assert res.mib_s == pytest.approx(expect, rel=1e-6)
+
+    def test_sendrecv_counts_two_messages(self):
+        pp = run("PingPing", 256 * KiB)
+        sr = run("SendRecv", 256 * KiB)
+        # SendRecv reports 2 x size per iteration: roughly double PingPing.
+        assert sr.mib_s > 1.3 * pp.mib_s
+
+    def test_collectives_report_no_throughput(self):
+        res = run("Allreduce", 64 * KiB)
+        assert res.mib_s == 0.0
+
+    def test_latency_grows_with_size(self):
+        small = run("PingPong", 1 * KiB)
+        big = run("PingPong", 1 * MiB)
+        assert big.t_avg_us > small.t_avg_us * 10
+
+    def test_two_ppn_runs_four_ranks(self):
+        res = run("Alltoall", 16 * KiB, ppn=2)
+        assert res.ranks == 4
+
+    def test_mx_faster_than_omx_at_medium_sizes(self):
+        mx = run("PingPong", 16 * KiB, stack="mx")
+        omx = run("PingPong", 16 * KiB, stack="omx")
+        assert mx.t_avg_us < omx.t_avg_us
+
+    def test_ioat_improves_large_collectives(self):
+        plain = run("Alltoall", 1 * MiB, ppn=1)
+        ioat = run("Alltoall", 1 * MiB, ppn=1, ioat_enabled=True)
+        assert ioat.t_avg_us < plain.t_avg_us

@@ -1,0 +1,106 @@
+"""Unit and property tests for page math and chunking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.layout import (
+    count_page_aligned_chunks,
+    iter_chunks,
+    page_aligned_chunks,
+    page_of,
+    page_offset,
+    page_range,
+    pages_spanned,
+)
+from repro.units import PAGE_SIZE
+
+
+class TestPageMath:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 7) == 7
+
+    def test_pages_spanned_zero_length(self):
+        assert pages_spanned(123, 0) == 0
+
+    def test_pages_spanned_within_page(self):
+        assert pages_spanned(100, 50) == 1
+
+    def test_pages_spanned_crossing(self):
+        assert pages_spanned(PAGE_SIZE - 1, 2) == 2
+
+    def test_pages_spanned_exact_page(self):
+        assert pages_spanned(0, PAGE_SIZE) == 1
+        assert pages_spanned(0, PAGE_SIZE + 1) == 2
+
+    def test_page_range(self):
+        assert list(page_range(PAGE_SIZE, 2 * PAGE_SIZE)) == [1, 2]
+
+
+class TestIterChunks:
+    def test_exact_division(self):
+        assert list(iter_chunks(0, 12, 4)) == [(0, 4), (4, 4), (8, 4)]
+
+    def test_tail_chunk(self):
+        assert list(iter_chunks(0, 10, 4)) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_offset_respected(self):
+        assert list(iter_chunks(100, 6, 4)) == [(100, 4), (104, 2)]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(0, 10, 0))
+
+
+class TestPageAlignedChunks:
+    def test_aligned_copy_uses_whole_pages(self):
+        chunks = list(page_aligned_chunks(0, PAGE_SIZE * 10, 3 * PAGE_SIZE))
+        assert all(n == PAGE_SIZE for _, _, n in chunks)
+        assert len(chunks) == 3
+
+    def test_misaligned_doubles_chunks(self):
+        # Source offset by half a page against an aligned destination:
+        # every page needs two descriptors.
+        chunks = list(page_aligned_chunks(PAGE_SIZE // 2, 0, 2 * PAGE_SIZE))
+        # Half-page phase shift: every chunk is limited to half a page.
+        assert [n for _, _, n in chunks] == [PAGE_SIZE // 2] * 4
+        assert sum(n for _, _, n in chunks) == 2 * PAGE_SIZE
+
+    def test_chunks_never_cross_pages(self):
+        src0, dst0 = 1234, 7777
+        for rel_src, rel_dst, n in page_aligned_chunks(src0, dst0, 5 * PAGE_SIZE):
+            s = src0 + rel_src
+            d = dst0 + rel_dst
+            assert page_of(s) == page_of(s + n - 1)
+            assert page_of(d) == page_of(d + n - 1)
+
+    @given(
+        src=st.integers(min_value=0, max_value=5 * PAGE_SIZE),
+        dst=st.integers(min_value=0, max_value=5 * PAGE_SIZE),
+        length=st.integers(min_value=1, max_value=10 * PAGE_SIZE),
+    )
+    def test_property_covers_exactly_once(self, src, dst, length):
+        chunks = list(page_aligned_chunks(src, dst, length))
+        # Coverage: contiguous, in order, total == length.
+        pos = 0
+        for rel_src, rel_dst, n in chunks:
+            assert rel_src == pos and rel_dst == pos
+            assert n >= 1
+            pos += n
+        assert pos == length
+        assert count_page_aligned_chunks(src, dst, length) == len(chunks)
+
+    @given(
+        src=st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+        dst=st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+        length=st.integers(min_value=1, max_value=8 * PAGE_SIZE),
+    )
+    def test_property_page_containment(self, src, dst, length):
+        for rel_src, rel_dst, n in page_aligned_chunks(src, dst, length):
+            s, d = src + rel_src, dst + rel_dst
+            assert page_of(s) == page_of(s + n - 1)
+            assert page_of(d) == page_of(d + n - 1)

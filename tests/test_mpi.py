@@ -1,0 +1,294 @@
+"""Tests for the MPI layer: p2p semantics and all collectives, over both
+stacks, 1 and 2 processes per node."""
+
+import numpy as np
+import pytest
+
+from repro import build_testbed
+from repro.mpi import create_world
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, encode_match, encode_recv
+from repro.units import KiB
+
+MAXEV = 10_000_000
+
+
+def world(stack="omx", ppn=1, **omx):
+    tb = build_testbed(stacks=stack, **omx)
+    return tb, create_world(tb, ppn=ppn)
+
+
+class TestMatchEncoding:
+    def test_exact_match(self):
+        m = encode_match(1, 3, 42)
+        rm, mask = encode_recv(1, 3, 42)
+        assert (m & mask) == (rm & mask)
+
+    def test_any_source_matches_all_sources(self):
+        rm, mask = encode_recv(1, ANY_SOURCE, 42)
+        for src in (0, 5, 100):
+            assert (encode_match(1, src, 42) & mask) == (rm & mask)
+
+    def test_any_tag_matches_all_tags(self):
+        rm, mask = encode_recv(1, 3, ANY_TAG)
+        for tag in (0, 7, 123456):
+            assert (encode_match(1, 3, tag) & mask) == (rm & mask)
+
+    def test_wrong_tag_rejected(self):
+        rm, mask = encode_recv(1, 3, 42)
+        assert (encode_match(1, 3, 43) & mask) != (rm & mask)
+
+    def test_wrong_source_rejected(self):
+        rm, mask = encode_recv(1, 3, 42)
+        assert (encode_match(1, 4, 42) & mask) != (rm & mask)
+
+
+@pytest.mark.parametrize("stack", ["omx", "mx"])
+class TestP2P:
+    def test_blocking_send_recv(self, stack):
+        tb, comm = world(stack)
+        n = 4 * KiB
+        results = {}
+
+        def body(rank):
+            buf = rank.space.alloc(n)
+            if rank.rank == 0:
+                buf.fill_pattern(1)
+                yield from rank.send(1, buf, tag=5)
+            else:
+                yield from rank.recv(0, buf, tag=5)
+                results["data"] = bytes(buf.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        expect = tb.hosts[0].user_space("check").alloc(n)
+        expect.fill_pattern(1)
+        assert results["data"] == bytes(expect.read())
+
+    def test_any_source_recv(self, stack):
+        tb, comm = world(stack)
+        got = {}
+
+        def body(rank):
+            buf = rank.space.alloc(64)
+            if rank.rank == 0:
+                buf.fill_pattern(9)
+                yield from rank.send(1, buf, tag=3)
+            else:
+                yield from rank.recv(ANY_SOURCE, buf, tag=3)
+                got["ok"] = True
+
+        comm.run_spmd(body, max_events=MAXEV)
+        assert got.get("ok")
+
+    def test_tag_ordering(self, stack):
+        """Two messages with different tags must land in the right recvs."""
+        tb, comm = world(stack)
+        out = {}
+
+        def body(rank):
+            a = rank.space.alloc(256)
+            b = rank.space.alloc(256)
+            if rank.rank == 0:
+                a.fill_pattern(1)
+                b.fill_pattern(2)
+                yield from rank.send(1, a, tag=10)
+                yield from rank.send(1, b, tag=20)
+            else:
+                # Post in reverse tag order.
+                r20 = yield from rank.irecv(0, b, tag=20)
+                r10 = yield from rank.irecv(0, a, tag=10)
+                yield from rank.wait(r20)
+                yield from rank.wait(r10)
+                out["a"] = bytes(a.read())
+                out["b"] = bytes(b.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        pa = comm.ranks[0].space.alloc(256)
+        pa.fill_pattern(1)
+        pb = comm.ranks[0].space.alloc(256)
+        pb.fill_pattern(2)
+        assert out["a"] == bytes(pa.read())
+        assert out["b"] == bytes(pb.read())
+
+    def test_sendrecv_crossing(self, stack):
+        tb, comm = world(stack)
+        out = {}
+
+        def body(rank):
+            s = rank.space.alloc(1 * KiB)
+            r = rank.space.alloc(1 * KiB)
+            s.fill_pattern(rank.rank)
+            other = 1 - rank.rank
+            yield from rank.sendrecv(other, s, other, r, length=1 * KiB)
+            out[rank.rank] = bytes(r.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        p0 = comm.ranks[0].space.alloc(1 * KiB)
+        p0.fill_pattern(0)
+        p1 = comm.ranks[0].space.alloc(1 * KiB)
+        p1.fill_pattern(1)
+        assert out[0] == bytes(p1.read())
+        assert out[1] == bytes(p0.read())
+
+
+@pytest.mark.parametrize("ppn", [1, 2])
+@pytest.mark.parametrize("stack", ["omx", "mx"])
+class TestCollectives:
+    def _floats(self, rank_count, n_floats, r):
+        return np.full(n_floats, float(r + 1), dtype=np.float32)
+
+    def test_barrier_completes(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+
+        def body(rank):
+            for _ in range(3):
+                yield from rank.barrier()
+
+        comm.run_spmd(body, max_events=MAXEV)
+
+    def test_bcast(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        n = 16 * KiB
+        out = {}
+
+        def body(rank):
+            buf = rank.space.alloc(n)
+            if rank.rank == 0:
+                buf.fill_pattern(7)
+            yield from rank.bcast(buf, root=0)
+            out[rank.rank] = bytes(buf.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        assert len(set(out.values())) == 1
+
+    def test_allreduce_sums(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        n_floats = 1024
+        n = n_floats * 4
+        out = {}
+
+        def body(rank):
+            sb = rank.space.alloc(n)
+            rb = rank.space.alloc(n)
+            sb.read().view(np.float32)[:] = float(rank.rank + 1)
+            yield from rank.allreduce(sb, rb)
+            out[rank.rank] = rb.read().view(np.float32).copy()
+
+        comm.run_spmd(body, max_events=MAXEV)
+        p = comm.size
+        expected = sum(range(1, p + 1))
+        for r, vals in out.items():
+            assert np.allclose(vals, expected), f"rank {r}"
+
+    def test_reduce_to_root(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        n_floats = 512
+        n = n_floats * 4
+        out = {}
+
+        def body(rank):
+            sb = rank.space.alloc(n)
+            rb = rank.space.alloc(n)
+            sb.read().view(np.float32)[:] = float(rank.rank + 1)
+            yield from rank.reduce(sb, rb, root=0)
+            if rank.rank == 0:
+                out["root"] = rb.read().view(np.float32).copy()
+
+        comm.run_spmd(body, max_events=MAXEV)
+        expected = sum(range(1, comm.size + 1))
+        assert np.allclose(out["root"], expected)
+
+    def test_allgather(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        block = 2 * KiB
+        out = {}
+
+        def body(rank):
+            sb = rank.space.alloc(block)
+            rb = rank.space.alloc(block * rank.size)
+            sb.fill_pattern(rank.rank + 1)
+            yield from rank.allgather(sb, rb, block)
+            out[rank.rank] = bytes(rb.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        assert len(set(out.values())) == 1
+        # Verify each block is the right rank's pattern.
+        ref = comm.ranks[0].space.alloc(block)
+        for r in range(comm.size):
+            ref.fill_pattern(r + 1)
+            blk = out[0][r * block : (r + 1) * block]
+            assert blk == bytes(ref.read())
+
+    def test_allgatherv_unequal(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        out = {}
+
+        def body(rank):
+            lens = [1 * KiB * (i + 1) for i in range(rank.size)]
+            sb = rank.space.alloc(lens[rank.rank])
+            rb = rank.space.alloc(sum(lens))
+            sb.fill_pattern(rank.rank + 1)
+            yield from rank.allgatherv(sb, rb, lens)
+            out[rank.rank] = bytes(rb.read())
+
+        comm.run_spmd(body, max_events=MAXEV)
+        assert len(set(out.values())) == 1
+
+    def test_alltoall(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        block = 1 * KiB
+        out = {}
+
+        def body(rank):
+            p = rank.size
+            sb = rank.space.alloc(block * p)
+            rb = rank.space.alloc(block * p)
+            for j in range(p):
+                sb.read(j * block, block)[:] = (rank.rank * 16 + j) % 251
+            yield from rank.alltoall(sb, rb, block)
+            out[rank.rank] = rb.read().copy()
+
+        comm.run_spmd(body, max_events=MAXEV)
+        p = comm.size
+        for i in range(p):
+            for j in range(p):
+                # rank i's block j must be what rank j sent to i
+                blk = out[i][j * block : (j + 1) * block]
+                assert (blk == (j * 16 + i) % 251).all()
+
+    def test_reduce_scatter(self, stack, ppn):
+        tb, comm = world(stack, ppn)
+        n_floats = 256
+        block = n_floats * 4
+        out = {}
+
+        def body(rank):
+            p = rank.size
+            sb = rank.space.alloc(block * p)
+            rb = rank.space.alloc(block)
+            sb.read().view(np.float32)[:] = float(rank.rank + 1)
+            yield from rank.reduce_scatter(sb, rb, block)
+            out[rank.rank] = rb.read().view(np.float32).copy()
+
+        comm.run_spmd(body, max_events=MAXEV)
+        expected = sum(range(1, comm.size + 1))
+        for r, vals in out.items():
+            assert np.allclose(vals, expected), f"rank {r}"
+
+
+def test_local_ranks_use_shm_path():
+    """With 2 ppn block placement, same-node traffic uses the shm engine."""
+    tb = build_testbed()
+    comm = create_world(tb, ppn=2, placement="block")
+
+    def body(rank):
+        buf = rank.space.alloc(64 * KiB)
+        if rank.rank == 0:
+            buf.fill_pattern(1)
+            yield from rank.send(1, buf)  # rank 1 is on the same node
+        elif rank.rank == 1:
+            yield from rank.recv(0, buf)
+
+    comm.run_spmd(body, max_events=MAXEV)
+    shm = tb.stacks[0].driver.shm
+    assert shm.local_large == 1
+    assert tb.hosts[0].nic.tx_frames == 0  # nothing touched the wire

@@ -1,0 +1,201 @@
+"""Unit tests for the copy-offload manager (§III policies and bookkeeping)."""
+
+import pytest
+
+from repro.cluster.host import Host
+from repro.ethernet.skbuff import SkbuffPool
+from repro.memory.buffers import AddressSpace
+from repro.params import clovertown_5000x
+from repro.simkernel import Simulator
+from repro.core.offload import OffloadManager
+from repro.units import KiB, PAGE_SIZE
+
+
+def make_env(**omx):
+    omx.setdefault("ioat_enabled", True)
+    plat = clovertown_5000x(**omx)
+    sim = Simulator()
+    host = Host(sim, plat)
+    mgr = OffloadManager(host, plat.omx)
+    return sim, host, mgr, plat.omx
+
+
+def fill_skb(host, nbytes):
+    skb = host.skb_pool.alloc_rx()
+    skb.data_len = nbytes
+    return skb
+
+
+class TestPolicy:
+    def test_offload_for_large_message_large_frag(self):
+        _, _, mgr, cfg = make_env()
+        state = mgr.new_message_state()
+        assert mgr.should_offload(state, 128 * KiB, 8 * KiB)
+
+    def test_no_offload_below_message_threshold(self):
+        _, _, mgr, cfg = make_env()
+        state = mgr.new_message_state()
+        assert not mgr.should_offload(state, cfg.ioat_min_msg - 1, 8 * KiB)
+
+    def test_no_offload_below_fragment_threshold(self):
+        _, _, mgr, cfg = make_env()
+        state = mgr.new_message_state()
+        assert not mgr.should_offload(state, 1 << 20, cfg.ioat_min_frag - 1)
+
+    def test_no_offload_when_disabled(self):
+        _, _, mgr, _ = make_env(ioat_enabled=False)
+        state = mgr.new_message_state()
+        assert not mgr.should_offload(state, 1 << 20, 8 * KiB)
+
+    def test_starvation_cap_forces_memcpy(self):
+        _, _, mgr, cfg = make_env(max_pending_skbuffs=2)
+        state = mgr.new_message_state()
+        state.pending = [object(), object()]  # fake two pending entries
+        assert not mgr.should_offload(state, 1 << 20, 8 * KiB)
+        assert mgr.starvation_fallbacks == 1
+
+    def test_channels_assigned_round_robin_per_message(self):
+        _, _, mgr, _ = make_env()
+        idx = [mgr.new_message_state().channel.index for _ in range(5)]
+        assert idx == [0, 1, 2, 3, 0]
+
+
+class TestExecution:
+    def _copy(self, sim, host, mgr, state, skb, dst, off, n, msg_len):
+        core = host.irq_core
+        out = {}
+
+        def work():
+            yield core.res.request()
+            out["offloaded"] = yield from mgr.copy_fragment(
+                core, state, skb, 0, dst, off, n, msg_len
+            )
+            core.res.release()
+
+        sim.run_until(sim.process(work()))
+        return out["offloaded"]
+
+    def test_offloaded_fragment_keeps_skbuff(self):
+        sim, host, mgr, _ = make_env()
+        state = mgr.new_message_state()
+        space = AddressSpace()
+        dst = space.alloc(128 * KiB)
+        skb = fill_skb(host, 8 * KiB)
+        offloaded = self._copy(sim, host, mgr, state, skb, dst, 0, 8 * KiB, 128 * KiB)
+        assert offloaded
+        assert state.pending_count == 1
+        assert not skb.freed
+
+    def test_memcpy_fragment_path(self):
+        sim, host, mgr, _ = make_env(ioat_enabled=False)
+        state = mgr.new_message_state()
+        space = AddressSpace()
+        dst = space.alloc(128 * KiB)
+        skb = fill_skb(host, 8 * KiB)
+        skb.head.fill_pattern(7)
+        offloaded = self._copy(sim, host, mgr, state, skb, dst, 0, 8 * KiB, 128 * KiB)
+        assert not offloaded
+        assert bytes(dst.read(0, 8 * KiB)) == bytes(skb.head.read(0, 8 * KiB))
+        assert mgr.frags_memcpy == 1
+
+    def test_cleanup_releases_completed_skbuffs(self):
+        sim, host, mgr, _ = make_env()
+        state = mgr.new_message_state()
+        space = AddressSpace()
+        dst = space.alloc(256 * KiB)
+        skbs = []
+        core = host.irq_core
+
+        def work():
+            yield core.res.request()
+            for i in range(4):
+                skb = fill_skb(host, 8 * KiB)
+                skbs.append(skb)
+                yield from mgr.copy_fragment(
+                    core, state, skb, 0, dst, i * 8 * KiB, 8 * KiB, 256 * KiB
+                )
+            core.res.release()
+            # let the engine drain fully
+            yield sim.timeout(10_000_000)
+            yield core.res.request()
+            freed = yield from mgr.cleanup(core, state)
+            core.res.release()
+            return freed
+
+        freed = sim.run_until(sim.process(work()))
+        assert freed == 4
+        assert all(s.freed for s in skbs)
+        assert state.pending_count == 0
+
+    def test_wait_all_blocks_until_engine_done(self):
+        sim, host, mgr, _ = make_env()
+        state = mgr.new_message_state()
+        space = AddressSpace()
+        dst = space.alloc(256 * KiB)
+        core = host.irq_core
+        src_pattern = []
+
+        def work():
+            yield core.res.request()
+            for i in range(8):
+                skb = fill_skb(host, 8 * KiB)
+                skb.head.fill_pattern(i)
+                src_pattern.append(bytes(skb.head.read(0, 8 * KiB)))
+                yield from mgr.copy_fragment(
+                    core, state, skb, 0, dst, i * 8 * KiB, 8 * KiB, 256 * KiB
+                )
+            freed = yield from mgr.wait_all(core, state)
+            core.res.release()
+            return freed
+
+        freed = sim.run_until(sim.process(work()))
+        assert freed == 8
+        for i, pat in enumerate(src_pattern):
+            assert bytes(dst.read(i * 8 * KiB, 8 * KiB)) == pat
+
+    def test_ignore_mode_copies_nothing(self):
+        sim, host, mgr, _ = make_env(ignore_bh_copy=True)
+        state = mgr.new_message_state()
+        space = AddressSpace()
+        dst = space.alloc(64 * KiB, fill=0)
+        skb = fill_skb(host, 8 * KiB)
+        skb.head.fill_pattern(3)
+        offloaded = self._copy(sim, host, mgr, state, skb, dst, 0, 8 * KiB, 128 * KiB)
+        assert not offloaded
+        assert bytes(dst.read(0, 8 * KiB)) == b"\x00" * (8 * KiB)
+
+    def test_pending_bounded_during_big_message(self):
+        """End-to-end: §III-B promises the pending pool stays bounded."""
+        from repro import build_testbed
+        from repro.units import MiB
+
+        tb = build_testbed(ioat_enabled=True, max_pending_skbuffs=24)
+        ep0, ep1 = tb.open_endpoint(0, 0), tb.open_endpoint(1, 0)
+        c0, c1 = tb.user_core(0), tb.user_core(1)
+        size = 4 * MiB
+        sbuf, rbuf = ep0.space.alloc(size), ep1.space.alloc(size)
+        sbuf.fill_pattern(1)
+        done = tb.sim.event()
+        peaks = []
+
+        def sender():
+            req = yield from ep0.isend(c0, ep1.addr, 9, sbuf, 0, size)
+            yield from ep0.wait(c0, req)
+
+        def receiver():
+            req = yield from ep1.irecv(c1, 9, ~0, rbuf, 0, size)
+            yield from ep1.wait(c1, req)
+            done.succeed()
+
+        def monitor():
+            while not done.triggered:
+                for h in tb.stacks[1].driver._pulls.values():
+                    peaks.append(h.offload.pending_count)
+                yield tb.sim.timeout(20_000)
+
+        tb.sim.process(sender())
+        tb.sim.process(receiver())
+        tb.sim.process(monitor())
+        tb.sim.run_until(done, max_events=60_000_000)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+        assert peaks and max(peaks) <= 24

@@ -1,0 +1,213 @@
+"""Edge cases of the Open-MX protocol: truncation, concurrency, multi-
+endpoint routing, wrong-destination traffic, event ordering."""
+
+import pytest
+
+from repro import build_testbed
+from repro.mx.wire import EndpointAddr
+from repro.simkernel.event import AllOf
+from repro.units import KiB, MiB
+
+
+def make_pair(**omx):
+    tb = build_testbed(**omx)
+    return tb, tb.open_endpoint(0, 0), tb.open_endpoint(1, 0)
+
+
+def xfer(tb, ep0, ep1, send_len, recv_len, match=0x2):
+    c0, c1 = tb.user_core(0), tb.user_core(1)
+    sbuf = ep0.space.alloc(max(send_len, 1))
+    rbuf = ep1.space.alloc(max(recv_len, 1), fill=0)
+    sbuf.fill_pattern(3)
+    done = tb.sim.event()
+    out = {}
+
+    def sender():
+        req = yield from ep0.isend(c0, ep1.addr, match, sbuf, 0, send_len)
+        yield from ep0.wait(c0, req)
+
+    def receiver():
+        req = yield from ep1.irecv(c1, match, ~0, rbuf, 0, recv_len)
+        yield from ep1.wait(c1, req)
+        out["req"] = req
+        done.succeed()
+
+    tb.sim.process(sender())
+    tb.sim.process(receiver())
+    tb.sim.run_until(done, max_events=40_000_000)
+    return sbuf, rbuf, out["req"]
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("send_len,recv_len", [
+        (8 * KiB, 4 * KiB),      # medium truncated
+        (100, 10),               # small truncated
+    ])
+    def test_short_recv_truncates_eager(self, send_len, recv_len):
+        tb, ep0, ep1 = make_pair()
+        sbuf, rbuf, req = xfer(tb, ep0, ep1, send_len, recv_len)
+        assert req.xfer_length == recv_len
+        assert bytes(rbuf.read(0, recv_len)) == bytes(sbuf.read(0, recv_len))
+
+    def test_short_recv_truncates_large(self):
+        """A rendezvous pull only fetches what the receive can hold."""
+        tb, ep0, ep1 = make_pair()
+        sbuf, rbuf, req = xfer(tb, ep0, ep1, 256 * KiB, 100 * KiB)
+        assert req.xfer_length == 100 * KiB
+        assert bytes(rbuf.read(0, 100 * KiB)) == bytes(sbuf.read(0, 100 * KiB))
+
+    def test_oversized_recv_completes_at_message_length(self):
+        tb, ep0, ep1 = make_pair()
+        sbuf, rbuf, req = xfer(tb, ep0, ep1, 4 * KiB, 64 * KiB)
+        assert req.xfer_length == 4 * KiB
+        assert bytes(rbuf.read(0, 4 * KiB)) == bytes(sbuf.read(0, 4 * KiB))
+
+
+class TestConcurrency:
+    def test_many_outstanding_large_messages(self):
+        """Multiple simultaneous pulls: each gets its own DMA channel."""
+        tb = build_testbed(ioat_enabled=True)
+        n_msgs = 6
+        eps0 = [tb.open_endpoint(0, i) for i in range(n_msgs)]
+        eps1 = [tb.open_endpoint(1, i) for i in range(n_msgs)]
+        size = 512 * KiB
+        sbufs = [ep.space.alloc(size) for ep in eps0]
+        rbufs = [ep.space.alloc(size, fill=0) for ep in eps1]
+        for i, b in enumerate(sbufs):
+            b.fill_pattern(i + 1)
+        procs = []
+        for i in range(n_msgs):
+            core_s = tb.hosts[0].user_core(i)
+            core_r = tb.hosts[1].user_core(i)
+
+            def sender(i=i, core=core_s):
+                req = yield from eps0[i].isend(core, eps1[i].addr, i, sbufs[i])
+                yield from eps0[i].wait(core, req)
+
+            def receiver(i=i, core=core_r):
+                req = yield from eps1[i].irecv(core, i, ~0, rbufs[i])
+                yield from eps1[i].wait(core, req)
+
+            procs.append(tb.sim.process(sender()))
+            procs.append(tb.sim.process(receiver()))
+        tb.sim.run_until(AllOf(tb.sim, procs), max_events=120_000_000)
+        for i in range(n_msgs):
+            assert bytes(rbufs[i].read()) == bytes(sbufs[i].read()), f"msg {i}"
+
+    def test_interleaved_sizes_same_pair(self):
+        """Small, medium and large messages interleaved on one endpoint
+        pair complete in matching order."""
+        tb, ep0, ep1 = make_pair(ioat_enabled=True)
+        c0, c1 = tb.user_core(0), tb.user_core(1)
+        sizes = [64, 16 * KiB, 256 * KiB, 100, 128 * KiB]
+        sbufs = [ep0.space.alloc(max(s, 1)) for s in sizes]
+        rbufs = [ep1.space.alloc(max(s, 1), fill=0) for s in sizes]
+        for i, b in enumerate(sbufs):
+            b.fill_pattern(i + 10)
+        done = tb.sim.event()
+
+        def sender():
+            reqs = []
+            for i, s in enumerate(sizes):
+                r = yield from ep0.isend(c0, ep1.addr, 0x100 + i, sbufs[i], 0, s)
+                reqs.append(r)
+            for r in reqs:
+                yield from ep0.wait(c0, r)
+
+        def receiver():
+            reqs = []
+            for i, s in enumerate(sizes):
+                r = yield from ep1.irecv(c1, 0x100 + i, ~0, rbufs[i], 0, s)
+                reqs.append(r)
+            for r in reqs:
+                yield from ep1.wait(c1, r)
+            done.succeed()
+
+        tb.sim.process(sender())
+        tb.sim.process(receiver())
+        tb.sim.run_until(done, max_events=60_000_000)
+        for i, s in enumerate(sizes):
+            assert bytes(rbufs[i].read(0, s)) == bytes(sbufs[i].read(0, s)), i
+
+
+class TestRouting:
+    def test_two_endpoints_on_one_host_are_independent(self):
+        tb = build_testbed()
+        ep0a = tb.open_endpoint(0, 0)
+        ep1a = tb.open_endpoint(1, 0)
+        ep1b = tb.open_endpoint(1, 1)
+        c0 = tb.user_core(0)
+        c1a, c1b = tb.hosts[1].user_core(0), tb.hosts[1].user_core(1)
+        buf_a = ep0a.space.alloc(1 * KiB)
+        buf_b = ep0a.space.alloc(1 * KiB)
+        buf_a.fill_pattern(1)
+        buf_b.fill_pattern(2)
+        r_a = ep1a.space.alloc(1 * KiB, fill=0)
+        r_b = ep1b.space.alloc(1 * KiB, fill=0)
+        done = tb.sim.event()
+
+        def sender():
+            ra = yield from ep0a.isend(c0, ep1a.addr, 7, buf_a)
+            rb = yield from ep0a.isend(c0, EndpointAddr(tb.hosts[1].host_id, 1), 7, buf_b)
+            yield from ep0a.wait(c0, ra)
+            yield from ep0a.wait(c0, rb)
+
+        def recv_a():
+            req = yield from ep1a.irecv(c1a, 7, ~0, r_a)
+            yield from ep1a.wait(c1a, req)
+
+        def recv_b():
+            req = yield from ep1b.irecv(c1b, 7, ~0, r_b)
+            yield from ep1b.wait(c1b, req)
+            done.succeed()
+
+        tb.sim.process(sender())
+        p_a = tb.sim.process(recv_a())
+        tb.sim.process(recv_b())
+        tb.sim.run_until(done, max_events=20_000_000)
+        tb.sim.run_until(p_a, max_events=20_000_000)
+        assert bytes(r_a.read()) == bytes(buf_a.read())
+        assert bytes(r_b.read()) == bytes(buf_b.read())
+
+    def test_packet_to_closed_endpoint_dropped(self):
+        """Traffic to a nonexistent endpoint must not wedge the stack."""
+        tb = build_testbed()
+        ep0 = tb.open_endpoint(0, 0)
+        c0 = tb.user_core(0)
+
+        def sender():
+            req = yield from ep0.isend(
+                c0, EndpointAddr(tb.hosts[1].host_id, 5), 1,
+                ep0.space.alloc(64),
+            )
+            return req
+
+        tb.sim.run_until(tb.sim.process(sender()))
+        tb.sim.run(until=tb.sim.now + 10_000_000)
+        # The stack is still alive and usable afterwards.
+        ep1 = tb.open_endpoint(1, 0)
+        c1 = tb.user_core(1)
+        sbuf = ep0.space.alloc(128)
+        rbuf = ep1.space.alloc(128, fill=0)
+        sbuf.fill_pattern(5)
+        done = tb.sim.event()
+
+        def snd():
+            req = yield from ep0.isend(c0, ep1.addr, 2, sbuf)
+            yield from ep0.wait(c0, req)
+
+        def rcv():
+            req = yield from ep1.irecv(c1, 2, ~0, rbuf)
+            yield from ep1.wait(c1, req)
+            done.succeed()
+
+        tb.sim.process(snd())
+        tb.sim.process(rcv())
+        tb.sim.run_until(done, max_events=20_000_000)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+
+    def test_duplicate_endpoint_id_rejected(self):
+        tb = build_testbed()
+        tb.open_endpoint(0, 0)
+        with pytest.raises(ValueError):
+            tb.open_endpoint(0, 0)

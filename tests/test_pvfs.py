@@ -1,0 +1,50 @@
+"""Tests for the PVFS2-style striped file-transfer workload."""
+
+import pytest
+
+from repro import build_testbed
+from repro.ethernet.switch import build_switched_testbed
+from repro.workloads import run_pvfs_transfer
+from repro.units import KiB, MiB
+
+
+class TestPvfs:
+    def test_roundtrip_verified_single_server(self):
+        tb = build_testbed()
+        r = run_pvfs_transfer(tb, file_size=2 * MiB, n_servers=1)
+        assert r.verified
+        assert r.write_mib_s > 200 and r.read_mib_s > 200
+
+    def test_roundtrip_verified_striped(self):
+        tb = build_switched_testbed(3)
+        r = run_pvfs_transfer(tb, file_size=2 * MiB)
+        assert r.verified
+        assert r.n_servers == 2
+
+    def test_odd_file_size_last_strip_short(self):
+        tb = build_testbed()
+        r = run_pvfs_transfer(tb, file_size=1 * MiB + 12345,
+                              strip_size=256 * KiB, n_servers=1)
+        assert r.verified
+
+    def test_ioat_improves_file_transfer(self):
+        """[23]'s PVFS result, through the Open-MX path."""
+        plain = run_pvfs_transfer(build_testbed(), file_size=4 * MiB, n_servers=1)
+        ioat = run_pvfs_transfer(build_testbed(ioat_enabled=True),
+                                 file_size=4 * MiB, n_servers=1)
+        assert ioat.write_mib_s > 1.15 * plain.write_mib_s
+        assert ioat.read_mib_s > 1.15 * plain.read_mib_s
+
+    def test_striping_helps_reads_with_ioat(self):
+        """Two servers feeding one client: the receive path is the
+        bottleneck, so the offload gain shows on reads."""
+        plain = run_pvfs_transfer(build_switched_testbed(3), file_size=4 * MiB)
+        ioat = run_pvfs_transfer(build_switched_testbed(3, ioat_enabled=True),
+                                 file_size=4 * MiB)
+        assert ioat.read_mib_s > 1.15 * plain.read_mib_s
+
+    def test_requires_a_server(self):
+        from repro.cluster.testbed import build_single_node
+
+        with pytest.raises(ValueError):
+            run_pvfs_transfer(build_single_node(), file_size=1 * MiB)

@@ -1,0 +1,135 @@
+"""Tests for units, parameters, reporting containers and tracing."""
+
+import pytest
+
+from repro import clovertown_5000x, units
+from repro.params import OmxConfig, Platform
+from repro.reporting import Figure, Series, Table, ascii_plot
+from repro.simkernel import Simulator, TraceRecorder
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.us(1.5) == 1500
+        assert units.ms(2) == 2_000_000
+        assert units.seconds(1) == units.SEC
+        assert units.to_us(2500) == 2.5
+        assert units.to_seconds(units.SEC) == 1.0
+
+    def test_transfer_time_rounding(self):
+        assert units.transfer_time(0, 1e9) == 0
+        assert units.transfer_time(1, 1e12) == 1  # never zero for real bytes
+        assert units.transfer_time(1000, 1e9) == 1000
+
+    def test_throughput(self):
+        assert units.throughput_mib_s(units.MiB, units.SEC) == pytest.approx(1.0)
+        assert units.throughput_mib_s(0, 0) == 0.0
+
+    def test_line_rate_constant_matches_paper(self):
+        # paper: 9953 Mbit/s = 1186 MiB/s
+        assert units.TEN_GBE_LINE_RATE_MIB_S == pytest.approx(1186.4, abs=1.0)
+
+    def test_bandwidth_helpers(self):
+        assert units.bandwidth_gib_s(2) == 2 * units.GiB
+        assert units.bandwidth_mib_s(3) == 3 * units.MiB
+
+
+class TestParams:
+    def test_preset_topology(self):
+        plat = clovertown_5000x()
+        assert plat.host.n_cores == 8
+        assert plat.host.ioat.channels == 4
+
+    def test_omx_overrides(self):
+        plat = clovertown_5000x(ioat_enabled=True, ioat_min_msg=1)
+        assert plat.omx.ioat_enabled
+        assert plat.omx.ioat_min_msg == 1
+
+    def test_with_omx_returns_new_platform(self):
+        plat = Platform()
+        plat2 = plat.with_omx(ioat_enabled=True)
+        assert not plat.omx.ioat_enabled
+        assert plat2.omx.ioat_enabled
+
+    @pytest.mark.parametrize("bad", [
+        dict(small_max=0),
+        dict(small_max=1 << 20, medium_max=1),
+        dict(medium_frag=0),
+        dict(pull_block_frags=0),
+        dict(pull_outstanding_blocks=0),
+        dict(ioat_min_frag=0),
+    ])
+    def test_validation_rejects_nonsense(self, bad):
+        with pytest.raises(ValueError):
+            OmxConfig(**bad).validate()
+
+
+class TestReporting:
+    def _figure(self):
+        fig = Figure("T", "title", "size", "MiB/s")
+        s1 = fig.new_series("a")
+        s1.add(16, 1.0)
+        s1.add(1024, 100.0)
+        s2 = fig.new_series("b")
+        s2.add(16, 2.0)
+        s2.add(1024, 50.0)
+        return fig
+
+    def test_series_lookup(self):
+        fig = self._figure()
+        assert fig.get("a").y_at(16) == 1.0
+        assert fig.get("a").y_at(999) is None
+        with pytest.raises(KeyError):
+            fig.get("zzz")
+
+    def test_render_contains_values(self):
+        text = self._figure().render()
+        assert "100.0" in text and "title" in text
+
+    def test_csv_round_trip(self):
+        csv = self._figure().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "size,a,b"
+        assert lines[1].startswith("16,")
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in ascii_plot([])
+
+    def test_table_render_and_csv(self):
+        t = Table("x", ["a", "b"])
+        t.add_row(1, 2.5)
+        assert "2.5" in t.render()
+        assert t.to_csv().splitlines()[1] == "1,2.5"
+
+    def test_table_row_width_checked(self):
+        t = Table("x", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+
+class TestTracing:
+    def test_disabled_records_nothing(self):
+        sim = Simulator()
+        tr = TraceRecorder(sim, enabled=False)
+        tr.record("lane", "x", 0, 10)
+        assert not tr.spans
+
+    def test_render_groups_by_lane(self):
+        sim = Simulator()
+        tr = TraceRecorder(sim, enabled=True)
+        tr.record("CPU#1", "Proc", 0, 100)
+        tr.record("I/OAT", "Copy", 50, 250)
+        text = tr.render_ascii(width=40)
+        assert "CPU#1" in text and "I/OAT" in text
+        assert tr.lanes() == ["CPU#1", "I/OAT"]
+
+    def test_span_duration(self):
+        sim = Simulator()
+        tr = TraceRecorder(sim, enabled=True)
+        tr.record("l", "x", 5, 15)
+        assert tr.spans[0].duration == 10
+
+    def test_empty_render(self):
+        sim = Simulator()
+        tr = TraceRecorder(sim, enabled=True)
+        assert "no trace" in tr.render_ascii()

@@ -1,0 +1,142 @@
+"""Tests for the intra-node shared-memory path (§III-C, Fig. 10)."""
+
+import pytest
+
+from repro.cluster.testbed import build_single_node
+from repro.units import GiB, KiB, MiB, SEC
+from repro.workloads import run_shm_pingpong
+
+
+def local_transfer(tb, size, prefill=7, ep_ids=(0, 1), cores=None):
+    host = tb.hosts[0]
+    ep_a = tb.open_endpoint(0, ep_ids[0])
+    ep_b = tb.open_endpoint(0, ep_ids[1])
+    if cores is None:
+        core_a, core_b = host.core_same_die_pair()
+    else:
+        core_a, core_b = cores
+    sbuf = ep_a.space.alloc(max(size, 1))
+    rbuf = ep_b.space.alloc(max(size, 1), fill=0)
+    sbuf.fill_pattern(prefill)
+    done = tb.sim.event()
+
+    def sender():
+        req = yield from ep_a.isend(core_a, ep_b.addr, 0x8, sbuf, 0, size)
+        yield from ep_a.wait(core_a, req)
+
+    def receiver():
+        req = yield from ep_b.irecv(core_b, 0x8, ~0, rbuf, 0, size)
+        yield from ep_b.wait(core_b, req)
+        done.succeed()
+
+    tb.sim.process(sender())
+    tb.sim.process(receiver())
+    tb.sim.run_until(done, max_events=30_000_000)
+    return sbuf, rbuf
+
+
+class TestLocalDelivery:
+    @pytest.mark.parametrize("size", [0, 1, 100, 4 * KiB, 31 * KiB])
+    def test_eager_local_delivers(self, size):
+        tb = build_single_node()
+        sbuf, rbuf = local_transfer(tb, size)
+        assert bytes(rbuf.read(0, size)) == bytes(sbuf.read(0, size))
+        assert tb.stacks[0].driver.shm.local_eager == 1
+
+    @pytest.mark.parametrize("size", [32 * KiB, 100_000, 1 * MiB])
+    def test_one_copy_local_delivers(self, size):
+        tb = build_single_node()
+        sbuf, rbuf = local_transfer(tb, size)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+        assert tb.stacks[0].driver.shm.local_large == 1
+
+    def test_ioat_used_at_threshold(self):
+        tb = build_single_node(ioat_enabled=True)
+        sbuf, rbuf = local_transfer(tb, 64 * KiB)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+        assert tb.stacks[0].driver.shm.ioat_copies == 1
+
+    def test_ioat_not_used_below_threshold(self):
+        tb = build_single_node(ioat_enabled=True, shm_ioat_min=1 * MiB)
+        local_transfer(tb, 64 * KiB)
+        assert tb.stacks[0].driver.shm.ioat_copies == 0
+
+    def test_nothing_touches_the_wire(self):
+        tb = build_single_node()
+        local_transfer(tb, 1 * MiB)
+        assert tb.hosts[0].nic.tx_frames == 0
+        assert tb.hosts[0].nic.rx_frames == 0
+
+    def test_unexpected_local_rendezvous(self):
+        """Large local send before any recv is posted."""
+        tb = build_single_node()
+        host = tb.hosts[0]
+        ep_a, ep_b = tb.open_endpoint(0, 0), tb.open_endpoint(0, 1)
+        core_a, core_b = host.core_same_die_pair()
+        size = 256 * KiB
+        sbuf = ep_a.space.alloc(size)
+        rbuf = ep_b.space.alloc(size, fill=0)
+        sbuf.fill_pattern(3)
+        done = tb.sim.event()
+
+        def sender():
+            req = yield from ep_a.isend(core_a, ep_b.addr, 0x9, sbuf)
+            yield from ep_a.wait(core_a, req)
+
+        def receiver():
+            yield tb.sim.timeout(1_000_000)  # recv posted 1 ms late
+            req = yield from ep_b.irecv(core_b, 0x9, ~0, rbuf)
+            yield from ep_b.wait(core_b, req)
+            done.succeed()
+
+        tb.sim.process(sender())
+        tb.sim.process(receiver())
+        tb.sim.run_until(done, max_events=30_000_000)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+
+
+class TestFig10Regimes:
+    def test_shared_cache_beats_cross_socket(self):
+        size = 512 * KiB
+        same = run_shm_pingpong(build_single_node(), size, "same_die",
+                                iterations=4, warmup=2)
+        cross = run_shm_pingpong(build_single_node(), size, "cross_socket",
+                                 iterations=4, warmup=2)
+        assert same > 3 * cross
+
+    def test_cross_socket_near_1_2_gib(self):
+        mib_s = run_shm_pingpong(build_single_node(), 1 * MiB, "cross_socket",
+                                 iterations=4, warmup=2)
+        assert 1000 < mib_s < 1500
+
+    def test_cache_capacity_knee(self):
+        small = run_shm_pingpong(build_single_node(), 1 * MiB, "same_die",
+                                 iterations=4, warmup=2)
+        huge = run_shm_pingpong(build_single_node(), 16 * MiB, "same_die",
+                                iterations=4, warmup=2)
+        assert huge < small / 2
+
+    def test_ioat_rate_independent_of_placement(self):
+        a = run_shm_pingpong(build_single_node(ioat_enabled=True), 1 * MiB,
+                             "same_die", iterations=4, warmup=2)
+        b = run_shm_pingpong(build_single_node(ioat_enabled=True), 1 * MiB,
+                             "cross_socket", iterations=4, warmup=2)
+        assert a == pytest.approx(b, rel=0.1)
+
+    def test_ioat_doubles_large_local_messages(self):
+        """Paper: 'performance of its one-copy-based local communication
+        mechanism is almost doubled' for large messages."""
+        plain = run_shm_pingpong(build_single_node(), 16 * MiB, "same_die",
+                                 iterations=3, warmup=1)
+        ioat = run_shm_pingpong(build_single_node(ioat_enabled=True), 16 * MiB,
+                                "same_die", iterations=3, warmup=1)
+        assert ioat > 1.2 * plain
+
+    def test_sleep_model_matches_busy_poll_throughput(self):
+        busy = run_shm_pingpong(build_single_node(ioat_enabled=True), 4 * MiB,
+                                "same_die", iterations=3, warmup=1)
+        sleep = run_shm_pingpong(
+            build_single_node(ioat_enabled=True, ioat_sleep_model=True),
+            4 * MiB, "same_die", iterations=3, warmup=1,
+        )
+        assert sleep == pytest.approx(busy, rel=0.15)

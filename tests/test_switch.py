@@ -1,0 +1,120 @@
+"""Tests for the N-port switch and multi-node (switched) testbeds."""
+
+import pytest
+
+from repro.ethernet.switch import build_switched_testbed
+from repro.mpi import create_world
+from repro.imb import run_imb
+from repro.units import KiB, MiB
+
+
+def transfer(tb, src_node, dst_node, size, match=0x4):
+    ep_s = tb.open_endpoint(src_node, 0)
+    ep_r = tb.open_endpoint(dst_node, 0)
+    cs, cr = tb.user_core(src_node), tb.user_core(dst_node)
+    sbuf = ep_s.space.alloc(size)
+    rbuf = ep_r.space.alloc(size, fill=0)
+    sbuf.fill_pattern(src_node * 7 + 1)
+    done = tb.sim.event()
+
+    def sender():
+        req = yield from ep_s.isend(cs, ep_r.addr, match, sbuf)
+        yield from ep_s.wait(cs, req)
+
+    def receiver():
+        req = yield from ep_r.irecv(cr, match, ~0, rbuf)
+        yield from ep_r.wait(cr, req)
+        done.succeed()
+
+    tb.sim.process(sender())
+    tb.sim.process(receiver())
+    tb.sim.run_until(done, max_events=40_000_000)
+    return sbuf, rbuf
+
+
+class TestSwitchedFabric:
+    def test_two_nodes_through_switch(self):
+        tb = build_switched_testbed(2)
+        sbuf, rbuf = transfer(tb, 0, 1, 256 * KiB)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+        assert tb.switch.forwarded > 0
+        assert tb.switch.dropped == 0
+
+    @pytest.mark.parametrize("pair", [(0, 3), (2, 1)])
+    def test_four_nodes_any_pair(self, pair):
+        tb = build_switched_testbed(4)
+        sbuf, rbuf = transfer(tb, pair[0], pair[1], 64 * KiB)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+
+    def test_ioat_works_through_switch(self):
+        tb = build_switched_testbed(2, ioat_enabled=True)
+        sbuf, rbuf = transfer(tb, 0, 1, 1 * MiB)
+        assert bytes(rbuf.read()) == bytes(sbuf.read())
+        assert tb.stacks[1].driver.offload.frags_offloaded > 0
+
+    def test_switch_adds_latency(self):
+        from repro import build_testbed
+
+        def latency(tb):
+            transfer(tb, 0, 1, 16)
+            return tb.sim.now
+
+        back_to_back = latency(build_testbed())
+        switched = latency(build_switched_testbed(2))
+        assert switched > back_to_back
+
+    def test_concurrent_flows_to_one_receiver_contend(self):
+        """Two senders into one node: the shared egress port serializes."""
+        tb = build_switched_testbed(3)
+        ep_r0 = tb.open_endpoint(2, 0)
+        ep_r1 = tb.open_endpoint(2, 1)
+        ep_s0 = tb.open_endpoint(0, 0)
+        ep_s1 = tb.open_endpoint(1, 0)
+        size = 512 * KiB
+        bufs = {}
+        done = []
+
+        def sender(ep, core, dst, match):
+            buf = ep.space.alloc(size)
+            buf.fill_pattern(match)
+            bufs[f"s{match}"] = buf
+
+            def gen():
+                req = yield from ep.isend(core, dst, match, buf)
+                yield from ep.wait(core, req)
+
+            return gen
+
+        def receiver(ep, core, match):
+            buf = ep.space.alloc(size, fill=0)
+            bufs[f"r{match}"] = buf
+
+            def gen():
+                req = yield from ep.irecv(core, match, ~0, buf)
+                yield from ep.wait(core, req)
+
+            return gen
+
+        procs = [
+            tb.sim.process(sender(ep_s0, tb.user_core(0), ep_r0.addr, 1)()),
+            tb.sim.process(sender(ep_s1, tb.user_core(1), ep_r1.addr, 2)()),
+            tb.sim.process(receiver(ep_r0, tb.hosts[2].user_core(0), 1)()),
+            tb.sim.process(receiver(ep_r1, tb.hosts[2].user_core(1), 2)()),
+        ]
+        from repro.simkernel.event import AllOf
+
+        tb.sim.run_until(AllOf(tb.sim, procs), max_events=60_000_000)
+        assert bytes(bufs["r1"].read()) == bytes(bufs["s1"].read())
+        assert bytes(bufs["r2"].read()) == bytes(bufs["s2"].read())
+
+    def test_mpi_collectives_on_four_switched_nodes(self):
+        tb = build_switched_testbed(4)
+        comm = create_world(tb, ppn=1, nodes=4)
+        res = run_imb(tb, comm, "Allreduce", 64 * KiB, iterations=2, warmup=1)
+        assert res.ranks == 4
+        assert res.t_avg_us > 0
+
+    def test_port_reuse_rejected(self):
+        tb = build_switched_testbed(2)
+        with pytest.raises(ValueError):
+            tb.switch.attach_nic(0, tb.hosts[1].nic)

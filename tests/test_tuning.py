@@ -1,0 +1,56 @@
+"""Tests for the §VI auto-tuning extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.host import Host
+from repro.core.tuning import autotune_thresholds, benchmark_copy_engines
+from repro.params import HostParams, IoatParams, MemcpyParams, Platform, clovertown_5000x
+from repro.simkernel import Simulator
+from repro.units import GiB, KiB
+
+
+def make_host(platform=None):
+    return Host(Simulator(), platform if platform is not None else clovertown_5000x())
+
+
+class TestCalibration:
+    def test_matches_paper_scalars(self):
+        cal = benchmark_copy_engines(make_host())
+        assert cal.ioat_submit_ns == 350
+        assert 400 < cal.breakeven_uncached < 900  # paper ~600 B
+        assert 1200 < cal.breakeven_cached < 4096  # paper ~2 kB
+        assert cal.ioat_page_chunk_bw > 2.2 * GiB
+
+
+class TestAutotune:
+    def test_default_platform_reproduces_paper_thresholds(self):
+        host = make_host()
+        cfg = autotune_thresholds(host, host.platform.omx)
+        assert cfg.ioat_min_frag == 4 * KiB or cfg.ioat_min_frag == 2 * KiB \
+            or cfg.ioat_min_frag == 1 * KiB
+        # message threshold = one pull block = 64 kB
+        assert cfg.ioat_min_msg == 64 * KiB
+
+    def test_faster_cpu_raises_fragment_threshold(self):
+        fast_cpu = dataclasses.replace(
+            HostParams(), memcpy=MemcpyParams(uncached_bw=6.0 * GiB)
+        )
+        host = make_host(Platform(host=fast_cpu))
+        base = autotune_thresholds(make_host(), host.platform.omx)
+        tuned = autotune_thresholds(host, host.platform.omx)
+        assert tuned.ioat_min_frag >= base.ioat_min_frag
+
+    def test_slow_engine_disables_offload(self):
+        slow_engine = dataclasses.replace(
+            HostParams(), ioat=IoatParams(engine_bw=0.5 * GiB)
+        )
+        host = make_host(Platform(host=slow_engine))
+        tuned = autotune_thresholds(host, host.platform.omx)
+        # thresholds pushed out of reach: offload effectively off
+        assert tuned.ioat_min_msg > 1 << 40
+
+    def test_tuned_config_validates(self):
+        host = make_host()
+        autotune_thresholds(host, host.platform.omx).validate()

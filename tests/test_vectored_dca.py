@@ -1,0 +1,167 @@
+"""Tests for vectored (segmented) sends and Direct Cache Access."""
+
+import dataclasses
+
+import pytest
+
+from repro import build_testbed
+from repro.core.types import OmxRequest
+from repro.params import NicParams, Platform, clovertown_5000x
+from repro.units import KiB, MiB
+
+
+def vectored_transfer(tb, segments_spec, match=0x6):
+    """Send a vectored message; returns (expected_bytes, received_bytes)."""
+    ep0, ep1 = tb.open_endpoint(0, 0), tb.open_endpoint(1, 0)
+    c0, c1 = tb.user_core(0), tb.user_core(1)
+    segments = []
+    expected = b""
+    for i, length in enumerate(segments_spec):
+        region = ep0.space.alloc(length + 64)
+        region.fill_pattern(i + 1)
+        off = 32  # deliberately unaligned
+        segments.append((region, off, length))
+        expected += bytes(region.read(off, length))
+    total = len(expected)
+    rbuf = ep1.space.alloc(max(total, 1), fill=0)
+    done = tb.sim.event()
+
+    def sender():
+        req = yield from ep0.isendv(c0, ep1.addr, match, segments)
+        yield from ep0.wait(c0, req)
+
+    def receiver():
+        req = yield from ep1.irecv(c1, match, ~0, rbuf, 0, total)
+        yield from ep1.wait(c1, req)
+        done.succeed()
+
+    tb.sim.process(sender())
+    tb.sim.process(receiver())
+    tb.sim.run_until(done, max_events=40_000_000)
+    return expected, bytes(rbuf.read(0, total))
+
+
+class TestIterPieces:
+    def _req(self, segments):
+        return OmxRequest("send", 0, ~0, None, 0,
+                          sum(s[2] for s in segments), segments=segments)
+
+    def test_pieces_respect_segment_boundaries(self):
+        from repro.memory.buffers import AddressSpace
+
+        space = AddressSpace()
+        segs = [(space.alloc(1000), 0, 1000), (space.alloc(5000), 100, 4900)]
+        req = self._req(segs)
+        pieces = list(req.iter_pieces(0, 5900, 4096))
+        # 1000-byte first segment, then 4096 + 804 from the second.
+        assert [n for _, _, _, n in pieces] == [1000, 4096, 804]
+        # message offsets are contiguous
+        assert [off for off, _, _, _ in pieces] == [0, 1000, 5096]
+
+    def test_window_within_segments(self):
+        from repro.memory.buffers import AddressSpace
+
+        space = AddressSpace()
+        segs = [(space.alloc(8192), 0, 8192), (space.alloc(8192), 0, 8192)]
+        req = self._req(segs)
+        pieces = list(req.iter_pieces(6000, 4000, 8192))
+        assert sum(n for _, _, _, n in pieces) == 4000
+        assert pieces[0][0] == 6000
+        # crosses the segment boundary at 8192
+        assert [n for _, _, _, n in pieces] == [2192, 1808]
+
+    def test_contiguous_request_unchanged(self):
+        from repro.memory.buffers import AddressSpace
+
+        space = AddressSpace()
+        region = space.alloc(10_000)
+        req = OmxRequest("send", 0, ~0, region, 100, 9000)
+        pieces = list(req.iter_pieces(0, 9000, 4096))
+        assert [n for _, _, _, n in pieces] == [4096, 4096, 808]
+        assert all(r is region for _, r, _, _ in pieces)
+
+
+class TestVectoredSend:
+    def test_medium_vectored_delivery(self):
+        tb = build_testbed()
+        expected, got = vectored_transfer(tb, [3000, 1500, 200, 5000])
+        assert got == expected
+
+    def test_large_vectored_delivery(self):
+        tb = build_testbed()
+        expected, got = vectored_transfer(tb, [50_000, 30_000, 40_000])
+        assert got == expected
+
+    def test_tiny_segments_defeat_offload(self):
+        """§IV-A: sub-kilobyte fragments must not be offloaded even for a
+        large message — the submission cost would dominate."""
+        tb = build_testbed(ioat_enabled=True)
+        spec = [700] * 150  # 105 kB message of 700 B segments
+        expected, got = vectored_transfer(tb, spec)
+        assert got == expected
+        d = tb.stacks[1].driver
+        assert d.offload.frags_offloaded == 0
+        assert d.offload.frags_memcpy >= 150
+
+    def test_large_segments_still_offload(self):
+        tb = build_testbed(ioat_enabled=True)
+        expected, got = vectored_transfer(tb, [64 * KiB, 64 * KiB])
+        assert got == expected
+        assert tb.stacks[1].driver.offload.frags_offloaded > 0
+
+    def test_vectored_slower_than_contiguous(self):
+        """Per-fragment costs make the vectorial send measurably slower."""
+        tb1 = build_testbed(ioat_enabled=True)
+        vectored_transfer(tb1, [700] * 150)
+        t_vec = tb1.sim.now
+        tb2 = build_testbed(ioat_enabled=True)
+        vectored_transfer(tb2, [700 * 150])
+        t_contig = tb2.sim.now
+        assert t_vec > 1.5 * t_contig
+
+    def test_local_vectored_not_supported(self):
+        from repro.cluster.testbed import build_single_node
+
+        tb = build_single_node()
+        ep0, ep1 = tb.open_endpoint(0, 0), tb.open_endpoint(0, 1)
+        core = tb.hosts[0].user_core(0)
+        seg = (ep0.space.alloc(100), 0, 100)
+
+        def body():
+            with pytest.raises(NotImplementedError):
+                yield from ep0.isendv(core, ep1.addr, 1, [seg])
+
+        tb.sim.run_until(tb.sim.process(body()))
+
+
+class TestDca:
+    def _platform(self, dca):
+        plat = clovertown_5000x()
+        return dataclasses.replace(plat, nic=dataclasses.replace(plat.nic, dca_enabled=dca))
+
+    def _latency(self, dca):
+        from repro.mpi import create_world
+        from repro.imb import run_imb
+
+        tb = build_testbed(platform=self._platform(dca))
+        comm = create_world(tb)
+        return run_imb(tb, comm, "PingPong", 16, iterations=6, warmup=2).t_avg_us
+
+    def test_dca_improves_small_message_latency(self):
+        assert self._latency(dca=True) < self._latency(dca=False)
+
+    def test_dca_reduces_bh_cost(self):
+        from repro.cluster.host import Host
+        from repro.core.driver import OmxDriver
+        from repro.simkernel import Simulator
+
+        plain = OmxDriver(Host(Simulator(), self._platform(False)),
+                          self._platform(False).omx)
+        dca = OmxDriver(Host(Simulator(), self._platform(True)),
+                        self._platform(True).omx)
+        assert dca._bh_base_cost < plain._bh_base_cost
+
+    def test_dca_does_not_break_delivery(self):
+        tb = build_testbed(platform=self._platform(True))
+        expected, got = vectored_transfer(tb, [10_000, 20_000])
+        assert got == expected

@@ -1,0 +1,74 @@
+"""Tests for the workload generators (streams, NAS IS, vectored copies)."""
+
+import pytest
+
+from repro import build_testbed
+from repro.cluster.testbed import build_single_node
+from repro.mpi import create_world
+from repro.units import KiB, MiB
+from repro.workloads import (
+    measure_vectored_copy,
+    run_nas_is,
+    run_stream_usage,
+)
+
+
+class TestStreamUsage:
+    def test_reports_positive_usage(self):
+        tb = build_testbed()
+        u = run_stream_usage(tb, 1 * MiB, iterations=4, warmup=1)
+        assert u.throughput_mib_s > 300
+        assert 0 < u.bh_pct <= 105
+        assert u.total_pct >= u.bh_pct
+
+    def test_bh_dominates_without_ioat(self):
+        tb = build_testbed()
+        u = run_stream_usage(tb, 4 * MiB, iterations=4, warmup=1)
+        assert u.bh_pct > u.driver_pct
+        assert u.bh_pct > u.user_pct
+
+    def test_ioat_reduces_bh_usage(self):
+        plain = run_stream_usage(build_testbed(), 4 * MiB, iterations=4, warmup=1)
+        ioat = run_stream_usage(build_testbed(ioat_enabled=True), 4 * MiB,
+                                iterations=4, warmup=1)
+        assert ioat.bh_pct < plain.bh_pct - 15
+        assert ioat.throughput_mib_s > plain.throughput_mib_s
+
+
+class TestNasIs:
+    @pytest.mark.parametrize("stack", ["omx", "mx"])
+    def test_kernel_sorts(self, stack):
+        tb = build_testbed(stacks=stack)
+        comm = create_world(tb, ppn=2)
+        res = run_nas_is(tb, comm, keys_per_rank=1 << 12, iterations=1)
+        assert res.sorted_ok
+        assert res.total_time_us > 0
+        assert res.comm_time_us <= res.total_time_us
+
+    def test_more_keys_take_longer(self):
+        def run(keys):
+            tb = build_testbed()
+            comm = create_world(tb, ppn=1)
+            return run_nas_is(tb, comm, keys_per_rank=keys, iterations=1)
+
+        a = run(1 << 12)
+        b = run(1 << 15)
+        assert b.total_time_us > a.total_time_us
+
+
+class TestVectoredCopy:
+    def test_small_segments_favour_memcpy(self):
+        tb = build_single_node()
+        r = measure_vectored_copy(tb.hosts[0], 256 * KiB, 256)
+        assert r.memcpy_gib_s > r.ioat_gib_s
+
+    def test_page_segments_favour_ioat(self):
+        tb = build_single_node()
+        r = measure_vectored_copy(tb.hosts[0], 256 * KiB, 4 * KiB)
+        assert r.ioat_gib_s > r.memcpy_gib_s
+
+    def test_submission_cost_scales_with_segments(self):
+        tb = build_single_node()
+        fine = measure_vectored_copy(tb.hosts[0], 64 * KiB, 512)
+        coarse = measure_vectored_copy(tb.hosts[0], 64 * KiB, 4 * KiB)
+        assert fine.ioat_submit_ns == 8 * coarse.ioat_submit_ns
