@@ -1,0 +1,15 @@
+"""Repo-root pytest configuration.
+
+Makes ``src/`` importable without an editable install and loads the
+analysis pytest plugin (``@pytest.mark.sanitize`` support).
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+pytest_plugins = ["repro.analysis.pytest_plugin"]

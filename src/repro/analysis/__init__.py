@@ -1,0 +1,38 @@
+"""Simulator-aware static analysis and runtime resource sanitizers.
+
+Two layers, both specific to this simulator's resource discipline:
+
+* :mod:`repro.analysis.lint` — AST lint rules (``SKB001``, ``DMA001``,
+  ``SIM001``, ``UNIT001``, ``GEN001``) run via ``python -m repro.analysis``
+  or the ``repro-lint`` entry point;
+* :mod:`repro.analysis.sanitizers` — runtime leak checks (skbuff pools,
+  DMA cookies, pinned pages, pending events) that hook the instrumented
+  ``observer`` attributes and :meth:`Simulator.add_teardown_check`.
+
+The pytest plugin (:mod:`repro.analysis.pytest_plugin`) wires the
+sanitizers to any test marked ``@pytest.mark.sanitize``.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    register_rule,
+)
+from repro.analysis.sanitizers import Sanitizer, SanitizerError, Violation
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+]

@@ -1,0 +1,66 @@
+"""Command-line lint driver.
+
+Usage::
+
+    python -m repro.analysis src/repro tests
+    repro-lint --select SKB001,DMA001 src/repro
+    repro-lint --list-rules
+
+Exit status 0 when clean, 1 when any finding survives (suppression via
+``# noqa: CODE`` pragmas), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from argparse import ArgumentParser
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.lint import all_rules, lint_paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = ArgumentParser(
+        prog="repro-lint",
+        description="simulator-aware lint for the Open-MX/I-OAT repro",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    registry = all_rules()
+    if args.list_rules:
+        for code in sorted(registry):
+            print(f"{code}  {registry[code].summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        unknown = [c for c in select if c not in registry]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    findings, n_files = lint_paths([Path(p) for p in args.paths], select)
+    for finding in findings:
+        print(finding.format())
+    status = "FAILED" if findings else "ok"
+    print(f"{status}: {len(findings)} finding(s) in {n_files} file(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

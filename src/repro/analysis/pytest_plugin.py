@@ -1,0 +1,73 @@
+"""Pytest integration for the runtime sanitizers.
+
+Loaded from the repo-root ``conftest.py``.  Opt-in per test::
+
+    @pytest.mark.sanitize
+    def test_pingpong():
+        tb = build_testbed()
+        ...
+
+Every :class:`~repro.cluster.testbed.Testbed` constructed while a
+``sanitize``-marked test runs is watched automatically; at teardown the
+simulator is drained (bounded, so a wedged scenario fails instead of
+hanging) and :meth:`Sanitizer.assert_clean` turns any leaked skbuff, DMA
+cookie, or pinned page into a test failure with acquire-site backtraces.
+
+Tests that want the sanitizer object itself (e.g. to call ``check(strict=
+True)`` or read per-channel pending counts) can accept the ``sanitizer``
+fixture explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: drain bound at teardown; generously above any test scenario's event count
+_QUIESCE_MAX_EVENTS = 10_000_000
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sanitize: watch every Testbed built by this test with the runtime "
+        "resource sanitizers and fail on leaked skbuffs/cookies/pins",
+    )
+    config.addinivalue_line(
+        "markers",
+        "lint: static-analysis self-checks (tier-1: rule goldens + clean sweep)",
+    )
+
+
+@pytest.fixture
+def sanitizer(monkeypatch):
+    """A :class:`Sanitizer` auto-attached to every Testbed the test builds."""
+    from repro.analysis.sanitizers import Sanitizer
+    from repro.cluster.testbed import Testbed
+
+    san = Sanitizer()
+    testbeds = []
+    orig_init = Testbed.__init__
+
+    def watching_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        san.watch_testbed(self)
+        testbeds.append(self)
+
+    # Patch the class, not build_testbed: test modules bind build_testbed
+    # by value at import time (`from repro import build_testbed`).
+    monkeypatch.setattr(Testbed, "__init__", watching_init)
+    san._testbeds = testbeds
+    return san
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_marked_tests(request):
+    """Autouse shim: ``@pytest.mark.sanitize`` pulls in the sanitizer."""
+    if request.node.get_closest_marker("sanitize") is None:
+        yield
+        return
+    san = request.getfixturevalue("sanitizer")
+    yield
+    for tb in san._testbeds:
+        tb.sim.run(max_events=_QUIESCE_MAX_EVENTS)
+    san.assert_clean()

@@ -1,0 +1,11 @@
+"""Built-in lint rules, one per module.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.analysis.lint.all_rules` does it lazily).  To add a rule,
+create ``<code>.py`` here with a ``@register_rule`` class and import it
+below.
+"""
+
+from repro.analysis.rules import dma001, gen001, sim001, skb001, unit001
+
+__all__ = ["skb001", "dma001", "sim001", "unit001", "gen001"]

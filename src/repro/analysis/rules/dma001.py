@@ -1,0 +1,57 @@
+"""DMA001: DmaCookie from a submit is never passed to poll/cleanup.
+
+I/OAT completions are only *observed* by polling (§VI: the engine has no
+completion interrupt in this stack), so a cookie that is submitted and then
+dropped means nobody will ever notice the copy finishing — the destination
+buffer gets handed to the application before the data lands.  Any later use
+of the cookie counts as tracking it (stored in a ``PendingCopy``, compared
+against ``poll()``, passed to ``busy_wait``...); only a cookie that is
+*never referenced again* is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    name_escapes,
+    own_nodes,
+    register_rule,
+)
+
+_SUBMIT_METHODS = ("submit", "submit_copy", "submit_copy_striped")
+
+
+@register_rule
+class DmaCookieLeakRule(Rule):
+    code = "DMA001"
+    summary = "DMA cookie from a submit is never polled, waited, or stored"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for fn in module.functions():
+            for node in own_nodes(fn):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                call = node.value
+                # submit_copy is a generator: `cookie = yield from api.submit_copy(...)`
+                if isinstance(call, (ast.Await, ast.YieldFrom)):
+                    call = call.value
+                if not (
+                    isinstance(target, ast.Name)
+                    and isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _SUBMIT_METHODS
+                ):
+                    continue
+                name = target.id
+                if not name_escapes(fn, name, binding=node, any_use_releases=True):
+                    yield module.finding(
+                        self.code, node,
+                        f"DMA cookie '{name}' from {call.func.attr}() is never "
+                        f"polled, waited on, or stored in '{fn.name}'",
+                    )

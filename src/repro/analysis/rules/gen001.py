@@ -1,0 +1,91 @@
+"""GEN001: sim-process generator called without being driven.
+
+Calling a generator function produces a generator object and runs *none* of
+its body — so a bare statement like ``self.cleanup(core, state)`` where
+``cleanup`` is a generator silently does nothing.  The fix is ``yield from
+...``, ``sim.process(...)``/``sim.daemon(...)``, or driving it explicitly.
+This is the single most insidious bug class in a generator-coroutine
+simulator: everything still runs, the numbers are just wrong.
+
+Scope is same-module resolution only: bare calls to module-level generator
+functions, to generator methods via ``self.``, and to nested generator
+defs.  Cross-module calls are out of reach of a single-file pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    is_generator,
+    own_nodes,
+    register_rule,
+)
+
+
+@register_rule
+class UndrivenGeneratorRule(Rule):
+    code = "GEN001"
+    summary = "generator function invoked as a bare statement (never driven)"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        tree = module.tree
+        module_gens = {
+            n.name for n in tree.body
+            if isinstance(n, ast.FunctionDef) and is_generator(n)
+        }
+        # module-level bare calls
+        for stmt in tree.body:
+            yield from self._check_stmt(module, stmt, module_gens, set(), "module scope")
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                yield from self._check_fn(module, node, module_gens, set())
+            elif isinstance(node, ast.ClassDef):
+                method_gens = {
+                    m.name for m in node.body
+                    if isinstance(m, ast.FunctionDef) and is_generator(m)
+                }
+                for m in node.body:
+                    if isinstance(m, ast.FunctionDef):
+                        yield from self._check_fn(module, m, module_gens, method_gens)
+
+    def _check_fn(self, module: ModuleSource, fn: ast.FunctionDef,
+                  module_gens: Set[str], method_gens: Set[str]) -> Iterator[Finding]:
+        local_gens = {
+            n.name for n in own_nodes(fn)
+            if isinstance(n, ast.FunctionDef) and is_generator(n)
+        }
+        callable_gens = module_gens | local_gens
+        for node in own_nodes(fn):
+            yield from self._check_stmt(module, node, callable_gens, method_gens,
+                                        f"'{fn.name}'")
+            if isinstance(node, ast.FunctionDef):
+                # nested non-generator helpers can still mis-call their siblings
+                yield from self._check_fn(module, node, callable_gens, method_gens)
+
+    def _check_stmt(self, module: ModuleSource, node: ast.AST,
+                    callable_gens: Set[str], method_gens: Set[str],
+                    where: str) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+            return
+        func = node.value.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in callable_gens:
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in method_gens
+        ):
+            name = f"self.{func.attr}"
+        if name is not None:
+            yield module.finding(
+                self.code, node,
+                f"generator '{name}' called as a bare statement in {where} — "
+                f"its body never runs (use 'yield from' or sim.process/daemon)",
+            )

@@ -1,0 +1,91 @@
+"""SIM001: nondeterminism or real blocking inside a simulated process.
+
+Simulated processes are generator coroutines driven by the integer-ns
+:class:`Simulator`; determinism is the property every regression test and
+every paper figure depends on.  A ``time.sleep`` does not advance simulated
+time (it just stalls the test suite), ``random``/``datetime`` calls make
+runs unreproducible, and real file/socket I/O blocks the single-threaded
+event loop.  This rule flags such calls inside any generator function —
+which is how every sim process is written in this codebase.
+
+Seeded ``numpy.random.default_rng(seed)`` is allowed: an explicit seed *is*
+the deterministic way to get pseudo-random workload data (see the NAS IS
+kernel).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    is_generator,
+    own_nodes,
+    register_rule,
+)
+
+_BANNED_EXACT = {
+    "time.sleep": "blocks the event loop without advancing sim time",
+    "time.time": "wall-clock read breaks determinism",
+    "time.time_ns": "wall-clock read breaks determinism",
+    "time.monotonic": "wall-clock read breaks determinism",
+    "time.monotonic_ns": "wall-clock read breaks determinism",
+    "time.perf_counter": "wall-clock read breaks determinism",
+    "time.perf_counter_ns": "wall-clock read breaks determinism",
+    "time.process_time": "wall-clock read breaks determinism",
+    "datetime.datetime.now": "wall-clock read breaks determinism",
+    "datetime.datetime.utcnow": "wall-clock read breaks determinism",
+    "datetime.datetime.today": "wall-clock read breaks determinism",
+    "datetime.date.today": "wall-clock read breaks determinism",
+    "open": "real file I/O inside a sim process",
+    "input": "blocks the event loop on console input",
+    "os.urandom": "entropy read breaks determinism",
+}
+
+_BANNED_PREFIXES = {
+    "random.": "unseeded randomness breaks determinism",
+    "numpy.random.": "unseeded randomness breaks determinism",
+    "secrets.": "entropy read breaks determinism",
+    "socket.": "real network I/O inside a sim process",
+    "subprocess.": "real process spawn inside a sim process",
+}
+
+
+def _is_seeded_default_rng(dotted: str, call: ast.Call) -> bool:
+    return (
+        dotted == "numpy.random.default_rng"
+        and len(call.args) + len(call.keywords) >= 1
+    )
+
+
+@register_rule
+class SimBlockingCallRule(Rule):
+    code = "SIM001"
+    summary = "blocking or nondeterministic call inside a sim-process generator"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for fn in module.functions():
+            if not is_generator(fn):
+                continue
+            for node in own_nodes(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = module.dotted_name(node.func)
+                if dotted is None:
+                    continue
+                reason = _BANNED_EXACT.get(dotted)
+                if reason is None:
+                    for prefix, why in _BANNED_PREFIXES.items():
+                        if dotted.startswith(prefix):
+                            if _is_seeded_default_rng(dotted, node):
+                                break
+                            reason = why
+                            break
+                if reason is not None:
+                    yield module.finding(
+                        self.code, node,
+                        f"call to {dotted}() in sim process '{fn.name}': {reason}",
+                    )

@@ -1,0 +1,71 @@
+"""UNIT001: bare integer literal where a units.py quantity is expected.
+
+Sizes and times in this codebase go through :mod:`repro.units` (``KiB``,
+``us``...) so a reader can tell 4096 bytes from 4096 nanoseconds.  A bare
+small literal passed for one of the known size/time config fields is almost
+always someone writing kilobytes or microseconds where the field wants raw
+bytes/ns — e.g. ``ioat_min_frag=4`` (meaning 4 KiB) silently offloads
+every 4-*byte* fragment.  Literals ≥512 pass: they are plausibly already in
+base units (and the products of the units helpers are themselves ≥512).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleSource, Rule, register_rule
+
+#: config fields measured in bytes or nanoseconds (see repro.params.OmxConfig)
+_UNIT_FIELDS = frozenset({
+    "ioat_min_frag",
+    "ioat_min_msg",
+    "medium_frag",
+    "medium_max",
+    "large_frag",
+    "eager_frag",
+    "rndv_threshold",
+    "shm_large_threshold",
+    "shm_ioat_min",
+    "retransmit_timeout",
+})
+
+_SUSPECT_MAX = 512
+
+
+def _suspect(value: ast.AST) -> bool:
+    return (
+        isinstance(value, ast.Constant)
+        and type(value.value) is int
+        and 0 < value.value < _SUSPECT_MAX
+    )
+
+
+@register_rule
+class BareUnitLiteralRule(Rule):
+    code = "UNIT001"
+    summary = "bare small integer for a byte/ns config field (use repro.units)"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg in _UNIT_FIELDS and _suspect(kw.value):
+                        yield module.finding(
+                            self.code, kw.value,
+                            f"bare literal {kw.value.value} for '{kw.arg}' — "
+                            f"spell the unit (e.g. KiB/us from repro.units)",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                if value is None or not _suspect(value):
+                    continue
+                for target in targets:
+                    field = target.attr if isinstance(target, ast.Attribute) else None
+                    if field in _UNIT_FIELDS:
+                        yield module.finding(
+                            self.code, value,
+                            f"bare literal {value.value} assigned to '{field}' — "
+                            f"spell the unit (e.g. KiB/us from repro.units)",
+                        )

@@ -272,6 +272,7 @@ class OmxDriver:
                 total=total,
                 block_bytes=self.config.large_frag * self.config.pull_block_frags,
                 offload=self.offload.new_message_state(), pinned=pinned,
+                endpoint=ep,
             )
             handle.last_progress = self.sim.now
             self._pulls[handle.id] = handle
@@ -283,6 +284,34 @@ class OmxDriver:
                 self.sim.daemon(self._pull_watchdog(ep, handle), name=f"pullwd{handle.id}")
         finally:
             core.res.release()
+        return None
+
+    def cmd_close_endpoint(self, core: "Core", ep: "OmxEndpoint") -> Generator:
+        """Close an endpoint, abandoning its in-flight pulls.
+
+        The §III-B cleanup routine runs for every pull the endpoint still
+        owns — and :meth:`OffloadManager.wait_all` for whatever it could not
+        release — so skbuffs queued behind in-flight I/OAT copies can never
+        be stranded past the endpoint's lifetime (the ``max_pending_skbuffs``
+        accounting returns to zero).  Abandoned pulls never complete their
+        request; close is forceful, like releasing the endpoint fd.
+        """
+        yield from self._enter_syscall(core)
+        try:
+            mine = [h for h in self._pulls.values() if h.endpoint is ep]
+            for handle in mine:
+                yield from self.offload.cleanup(core, handle.offload)
+                if handle.offload.pending:
+                    yield from self.offload.wait_all(core, handle.offload)
+                handle.done = True
+                self._pulls.pop(handle.id, None)
+                if handle.pinned is not None:
+                    yield from self.host.regcache.release(core, handle.pinned, "driver")
+            if self.kmatch is not None:
+                yield from self.kmatch.cmd_close_endpoint(core, ep)
+        finally:
+            core.res.release()
+        self.endpoints.pop(ep.addr.endpoint, None)
         return None
 
     # ------------------------------------------------------------------

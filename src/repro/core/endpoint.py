@@ -170,6 +170,18 @@ class OmxEndpoint:
                 yield from self.driver.kmatch.cmd_post_recv(core, self, req)
         return req
 
+    def close(self, core: "Core") -> Generator:
+        """Close the endpoint (forceful, like releasing its fd).
+
+        The driver runs the §III-B offload cleanup for every pull this
+        endpoint still owns, so skbuffs queued behind in-flight I/OAT copies
+        are released rather than stranded; in-flight transfers are abandoned
+        (their requests never complete).  The endpoint is unregistered and
+        must not be used afterwards.
+        """
+        yield from self.driver.cmd_close_endpoint(core, self)
+        return None
+
     def wait(self, core: "Core", req: OmxRequest) -> Generator:
         """Progress the endpoint until ``req`` completes."""
         while not req.done:

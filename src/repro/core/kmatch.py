@@ -99,6 +99,27 @@ class KernelMatcher:
             core.res.release()
         return None
 
+    def cmd_close_endpoint(self, core: "Core", ep: "OmxEndpoint") -> Generator:
+        """Endpoint teardown: drain in-flight assemblies, drop posted recvs.
+
+        The caller (``OmxDriver.cmd_close_endpoint``) holds the core.  Any
+        assembly still awaiting asynchronous copies gets the same last-
+        fragment treatment as normal completion (wait, free skbuffs, reap),
+        and the pin references of still-posted receives are released.
+        """
+        ep_id = ep.addr.endpoint
+        doomed = [k for k in self._assemblies if k[0] == ep_id]
+        for key in doomed:
+            asm = self._assemblies.pop(key)
+            if asm.offload is not None:
+                yield from self.driver.offload.wait_all(core, asm.offload)
+            if asm.posted.pinned is not None:
+                yield from self.host.regcache.release(core, asm.posted.pinned, "driver")
+        for entry in self._posted.pop(ep_id, []):
+            if entry.pinned is not None:
+                yield from self.host.regcache.release(core, entry.pinned, "driver")
+        return None
+
     def unpost(self, ep: "OmxEndpoint", req: OmxRequest) -> None:
         """Library consumed this receive through the classic path."""
         entries = self._posted.get(ep.addr.endpoint, [])

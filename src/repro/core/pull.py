@@ -58,10 +58,13 @@ class PullHandle:
         block_bytes: int,
         offload: MessageOffloadState,
         pinned: Optional[PinnedRegion],
+        endpoint: object = None,
     ):
         self.id = handle_id
         self.req = req
         self.peer = peer
+        #: owning endpoint (close() must find and clean this pull)
+        self.endpoint = endpoint
         self.msg_id = msg_id
         self.total = total
         self.block_bytes = block_bytes

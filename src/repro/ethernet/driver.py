@@ -96,10 +96,14 @@ class SoftirqEngine:
             self.unhandled += 1
             skb.free()
             return
-        start = self.sim.now
-        label = getattr(frame.payload, "describe", lambda: "pkt")() if frame else "pkt"
+        # Span construction (describe() + label split) happens only when the
+        # recorder is enabled, so tracing is truly zero-cost when off.
+        tracing = self.trace is not None and self.trace.enabled
+        if tracing:
+            start = self.sim.now
+            label = getattr(frame.payload, "describe", lambda: "pkt")() if frame else "pkt"
         yield from handler(core, skb)
-        if self.trace is not None:
+        if tracing:
             self.trace.record(f"CPU#{core.cpu_id}", label.split(" ")[0],
                               start, self.sim.now, "bh")
         self.packets_handled += 1

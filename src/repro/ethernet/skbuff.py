@@ -90,6 +90,9 @@ class SkbuffPool:
         #: high-water mark of live skbuffs (bounds §III-B's pending pool)
         self.peak_outstanding = 0
         self.total_allocated = 0
+        #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
+        #: set, it is notified of every alloc/free (leak tracking)
+        self.observer = None
 
     def alloc_rx(self) -> Skbuff:
         """A receive skbuff with linear kernel pages."""
@@ -104,9 +107,13 @@ class SkbuffPool:
         self.outstanding += 1
         self.total_allocated += 1
         self.peak_outstanding = max(self.peak_outstanding, self.outstanding)
+        if self.observer is not None:
+            self.observer.on_skb_alloc(self, skb)
         return skb
 
     def _on_free(self, skb: Skbuff) -> None:
         self.outstanding -= 1
         if skb.head is not None:
             self._free.append(skb.head)
+        if self.observer is not None:
+            self.observer.on_skb_free(self, skb)

@@ -47,6 +47,9 @@ class DmaChannel:
         self._running = False
         #: optional TraceRecorder (Fig. 5/6-style timelines)
         self.trace = None
+        #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
+        #: set, it is notified of submissions and completion polls
+        self.observer = None
         # statistics
         self.descriptors_completed = 0
         self.bytes_copied = 0
@@ -63,12 +66,17 @@ class DmaChannel:
         (:class:`~repro.ioat.api.IoatDmaApi`), since it runs on a core.
         """
         cookie = self.ring.push(desc)
+        if self.observer is not None:
+            self.observer.on_dma_submit(self, cookie, desc)
         self._work.fire()
         return cookie
 
     def poll(self) -> int:
         """Status read: highest completed cookie (-1 if none)."""
-        return self.ring.last_completed_cookie()
+        done = self.ring.last_completed_cookie()
+        if self.observer is not None:
+            self.observer.on_dma_poll(self, done)
+        return done
 
     def is_complete(self, cookie: int) -> bool:
         """True once ``cookie`` (and thus all earlier ones) completed."""
@@ -105,7 +113,7 @@ class DmaChannel:
             start = self.sim.now
             yield self.sim.timeout(t)
             self.busy_ticks += t
-            if self.trace is not None:
+            if self.trace is not None and self.trace.enabled:
                 self.trace.record(f"I/OAT ch{self.index}", f"Copy#{desc.cookie}",
                                   start, self.sim.now, "dma")
             copy_bytes(desc.src, desc.src_off, desc.dst, desc.dst_off, desc.length)

@@ -57,6 +57,9 @@ class Pinner:
         self.pin_calls = 0
         self.pages_pinned = 0
         self.unpin_calls = 0
+        #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
+        #: set, it is notified of every pin/unpin (leak tracking)
+        self.observer = None
 
     def pin_cost(self, region: MemoryRegion) -> int:
         """CPU ticks needed to pin ``region``."""
@@ -71,7 +74,10 @@ class Pinner:
         yield from core.busy(self.pin_cost(region), category)
         self.pin_calls += 1
         self.pages_pinned += pages_spanned(region.addr, len(region))
-        return PinnedRegion(region)
+        pinned = PinnedRegion(region)
+        if self.observer is not None:
+            self.observer.on_pin(self, pinned)
+        return pinned
 
     def unpin(self, core: "Core", pinned: PinnedRegion, category: str = "driver") -> Generator:
         """Release a pinned region (cheap: per-page put_page)."""
@@ -79,4 +85,6 @@ class Pinner:
         yield from core.busy(cost, category)
         pinned.unpin()
         self.unpin_calls += 1
+        if self.observer is not None:
+            self.observer.on_unpin(self, pinned)
         return None

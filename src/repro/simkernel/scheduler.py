@@ -30,6 +30,9 @@ class Simulator:
         self._running = False
         #: number of events processed; useful for runaway detection in tests
         self.events_processed: int = 0
+        #: callbacks run by :meth:`finish` (resource sanitizers and other
+        #: end-of-simulation invariant checks register here)
+        self._teardown_checks: list[Callable[[], None]] = []
 
     # -- construction helpers ---------------------------------------------
 
@@ -147,3 +150,23 @@ class Simulator:
     def peek(self) -> Optional[int]:
         """Time of the next scheduled action, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None
+
+    # -- teardown -----------------------------------------------------------
+
+    def add_teardown_check(self, check: Callable[[], None]) -> None:
+        """Register an end-of-simulation invariant check.
+
+        Checks run (in registration order) when :meth:`finish` is called —
+        typically by a test harness after the scenario has quiesced.  A
+        check signals a violation by raising.
+        """
+        self._teardown_checks.append(check)
+
+    def finish(self) -> None:
+        """Run all registered teardown checks.
+
+        This does not stop or drain the simulation; callers should first let
+        it quiesce (e.g. ``sim.run()`` until the heap empties).
+        """
+        for check in self._teardown_checks:
+            check()

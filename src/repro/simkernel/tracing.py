@@ -6,7 +6,11 @@ when completion was notified.  :class:`TraceRecorder` collects such spans and
 can render an ASCII timeline grouped by lane (core, DMA channel, ...), which
 the `fig5/fig6`-style examples print.
 
-Recording is off by default and costs nothing when disabled.
+Recording is off by default and costs nothing when disabled: hot call sites
+must guard span construction behind :attr:`TraceRecorder.enabled` themselves
+(``if trace is not None and trace.enabled: trace.record(...)``) so that
+neither the span arguments nor the label strings are built when tracing is
+off; the check inside :meth:`TraceRecorder.record` is only a backstop.
 """
 
 from __future__ import annotations

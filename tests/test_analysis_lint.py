@@ -1,0 +1,216 @@
+"""Golden-file tests for the static lint rules (tier-1 self-check).
+
+One positive (rule fires) and negative (rule stays quiet) snippet per rule,
+the suppression pragma, the CLI exit codes, and — the real guarantee — a
+sweep asserting the shipped ``src/repro`` tree is clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import all_rules, lint_paths, lint_source
+
+pytestmark = pytest.mark.lint
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+# (name, snippet, expected rule codes)
+GOLDENS = [
+    ("skb001_dropped", """
+        def bh(pool):
+            skb = pool.alloc_rx()
+            skb.data_len = 64
+    """, {"SKB001"}),
+    ("skb001_freed", """
+        def bh(pool):
+            skb = pool.alloc_rx()
+            skb.data_len = 64
+            skb.free()
+    """, set()),
+    ("skb001_handed_off", """
+        def send(pool, nic):
+            skb = pool.alloc_tx()
+            nic.xmit(skb)
+    """, set()),
+    ("skb001_stored", """
+        def bh(pool, pending):
+            skb = pool.alloc_rx()
+            pending.append(skb)
+    """, set()),
+    ("skb001_returned", """
+        def alloc(pool):
+            skb = pool.alloc_rx()
+            return skb
+    """, set()),
+    ("dma001_dropped", """
+        def copy(api, core, src, dst):
+            cookie = yield from api.submit_copy(core, src, 0, dst, 0, 4096, "bh")
+            yield from core.busy(10, "bh")
+    """, {"DMA001"}),
+    ("dma001_polled", """
+        def copy(api, core, src, dst):
+            cookie = yield from api.submit_copy(core, src, 0, dst, 0, 4096, "bh")
+            while not cookie.done:
+                yield from core.busy(10, "bh")
+    """, set()),
+    ("dma001_stored", """
+        def copy(api, core, src, dst, state):
+            cookie = yield from api.submit_copy(core, src, 0, dst, 0, 4096, "bh")
+            state.pending.append(cookie)
+    """, set()),
+    ("sim001_sleep", """
+        import time
+        def proc(sim):
+            time.sleep(0.1)
+            yield sim.timeout(5)
+    """, {"SIM001"}),
+    ("sim001_aliased_import", """
+        from time import sleep as snooze
+        def proc(sim):
+            snooze(1)
+            yield sim.timeout(5)
+    """, {"SIM001"}),
+    ("sim001_random", """
+        import random
+        def proc(sim):
+            yield sim.timeout(random.randint(1, 10))
+    """, {"SIM001"}),
+    ("sim001_not_a_process", """
+        import time
+        def helper():
+            time.sleep(0.1)
+    """, set()),
+    ("sim001_seeded_rng_ok", """
+        import numpy as np
+        def proc(sim, rank):
+            rng = np.random.default_rng(1234 + rank)
+            yield sim.timeout(int(rng.integers(1, 10)))
+    """, set()),
+    ("sim001_unseeded_rng", """
+        import numpy as np
+        def proc(sim):
+            rng = np.random.default_rng()
+            yield sim.timeout(5)
+    """, {"SIM001"}),
+    ("unit001_bare_kwarg", """
+        def make(clovertown_5000x):
+            return clovertown_5000x(ioat_min_frag=4)
+    """, {"UNIT001"}),
+    ("unit001_bare_assign", """
+        def tweak(cfg):
+            cfg.retransmit_timeout = 500
+    """, {"UNIT001"}),
+    ("unit001_units_ok", """
+        from repro.units import KiB, us
+        def make(clovertown_5000x):
+            return clovertown_5000x(ioat_min_frag=4 * KiB, retransmit_timeout=us(500))
+    """, set()),
+    ("unit001_base_units_ok", """
+        def make(clovertown_5000x):
+            return clovertown_5000x(ioat_min_frag=4096, small_max=128)
+    """, set()),
+    ("gen001_bare_call", """
+        def cleanup(core):
+            yield core.busy(1, "bh")
+
+        def handler(core):
+            cleanup(core)
+    """, {"GEN001"}),
+    ("gen001_bare_method", """
+        class Driver:
+            def cleanup(self, core):
+                yield core.busy(1, "bh")
+
+            def handle(self, core):
+                self.cleanup(core)
+    """, {"GEN001"}),
+    ("gen001_driven", """
+        def cleanup(core):
+            yield core.busy(1, "bh")
+
+        def handler(core):
+            yield from cleanup(core)
+    """, set()),
+    ("gen001_spawned", """
+        def cleanup(core):
+            yield core.busy(1, "bh")
+
+        def handler(sim, core):
+            sim.process(cleanup(core))
+    """, set()),
+]
+
+
+@pytest.mark.parametrize(
+    "snippet,expected",
+    [(s, e) for _, s, e in GOLDENS],
+    ids=[name for name, _, _ in GOLDENS],
+)
+def test_rule_goldens(snippet, expected):
+    findings = lint_source(textwrap.dedent(snippet), "golden.py")
+    assert {f.code for f in findings} == expected
+
+
+def test_every_rule_has_a_firing_golden():
+    """A registered rule without a positive golden is untested — fail loudly."""
+    covered = set().union(*(e for _, _, e in GOLDENS))
+    assert covered == set(all_rules())
+
+
+def test_noqa_suppression():
+    src = textwrap.dedent("""
+        def bh(pool):
+            a = pool.alloc_rx()  # noqa: SKB001
+            b = pool.alloc_rx()  # noqa
+            c = pool.alloc_rx()  # noqa: DMA001
+    """)
+    findings = lint_source(src, "noqa.py")
+    # a: coded pragma, b: bare pragma; c's pragma names the wrong rule
+    assert [(f.code, f.line) for f in findings] == [("SKB001", 5)]
+
+
+def test_select_restricts_rules():
+    src = textwrap.dedent("""
+        import time
+        def proc(pool, sim):
+            skb = pool.alloc_rx()
+            time.sleep(1)
+            yield sim.timeout(5)
+    """)
+    assert {f.code for f in lint_source(src, "x.py")} == {"SKB001", "SIM001"}
+    only = lint_source(src, "x.py", select=["SIM001"])
+    assert {f.code for f in only} == {"SIM001"}
+    with pytest.raises(ValueError):
+        lint_source(src, "x.py", select=["NOPE999"])
+
+
+def test_shipped_tree_is_clean():
+    """The acceptance gate: ``python -m repro.analysis src/repro`` exits 0."""
+    findings, n_files = lint_paths([SRC_ROOT])
+    assert n_files > 50  # the sweep actually saw the tree
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(textwrap.dedent("""
+        def bh(pool):
+            skb = pool.alloc_rx()
+            skb.data_len = 1
+    """))
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "SKB001" in out and "dirty.py" in out
+    assert main(["--select", "NOPE999", str(clean)]) == 2
+    assert main(["--list-rules"]) == 0
+    listed = capsys.readouterr().out
+    for code in all_rules():
+        assert code in listed

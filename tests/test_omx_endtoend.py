@@ -54,6 +54,7 @@ def test_eager_sizes_delivered(size):
     assert req.xfer_length == size
 
 
+@pytest.mark.sanitize
 @pytest.mark.parametrize("size", [32 * KiB + 1, 64 * KiB, 100_000, 1 * MiB])
 def test_large_rendezvous_delivered(size):
     tb = build_testbed()
@@ -62,6 +63,7 @@ def test_large_rendezvous_delivered(size):
     assert req.xfer_length == size
 
 
+@pytest.mark.sanitize
 @pytest.mark.parametrize("size", [64 * KiB, 1 * MiB])
 def test_large_with_ioat_delivered(size):
     tb = build_testbed(ioat_enabled=True)
@@ -179,6 +181,7 @@ def test_matching_respects_mask():
     assert bytes(r_b.read()) == bytes(b_b.read())
 
 
+@pytest.mark.sanitize
 def test_no_skbuff_leak_after_transfers():
     tb = build_testbed(ioat_enabled=True)
     pingpong_once(tb, 1 * MiB)

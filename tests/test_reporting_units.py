@@ -41,7 +41,7 @@ class TestParams:
         assert plat.host.ioat.channels == 4
 
     def test_omx_overrides(self):
-        plat = clovertown_5000x(ioat_enabled=True, ioat_min_msg=1)
+        plat = clovertown_5000x(ioat_enabled=True, ioat_min_msg=1)  # noqa: UNIT001 (sentinel override)
         assert plat.omx.ioat_enabled
         assert plat.omx.ioat_min_msg == 1
 
@@ -53,7 +53,7 @@ class TestParams:
 
     @pytest.mark.parametrize("bad", [
         dict(small_max=0),
-        dict(small_max=1 << 20, medium_max=1),
+        dict(small_max=1 << 20, medium_max=1),  # noqa: UNIT001 (invalid on purpose)
         dict(medium_frag=0),
         dict(pull_block_frags=0),
         dict(pull_outstanding_blocks=0),
