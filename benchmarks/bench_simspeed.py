@@ -1,0 +1,178 @@
+"""Simulator self-benchmark: wall-clock and events/second per figure.
+
+This PR applies the paper's own medicine to the simulator (copy-elided
+phantom payloads, allocation-free event fast paths, cached sweep executor);
+this benchmark quantifies the result.  It regenerates the quick figure
+suite serially with a **cold** cache (the honest configuration: no
+parallelism, no memoization credit), records wall seconds and simulator
+events/second per figure, compares against the pre-optimization baseline,
+and emits ``BENCH_simspeed.json``.
+
+The baseline is **measured live**: the pre-PR source tree is extracted
+from git (``BASELINE_REF``) into a temp dir and its quick suite is timed
+in a subprocess immediately before the optimized run.  Back-to-back
+measurement on the same machine state is what makes the speedup ratio
+trustworthy on a noisy shared host — frozen wall-clock numbers from
+another day would compare against a different machine.  When git or the
+baseline ref is unavailable (shallow clone), the frozen same-machine
+numbers in ``FALLBACK_BASELINE_QUICK_SECONDS`` are used instead.
+
+Run standalone (``python benchmarks/bench_simspeed.py``) or under pytest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tarfile
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.reporting.experiments import EXPERIMENTS
+from repro.reporting.sweeps import SweepExecutor
+from repro.simkernel.scheduler import Simulator
+
+#: last commit before this PR's optimizations (byte-moving payloads,
+#: process-per-delivery event loop, no sweep executor)
+BASELINE_REF = "025bda4"
+
+#: pre-PR quick-suite wall seconds per figure, frozen at commit time —
+#: used only when the live baseline cannot be measured (no git history)
+FALLBACK_BASELINE_QUICK_SECONDS = {
+    "fig3": 2.91,
+    "fig7": 0.518,
+    "micro": 0.017,
+    "fig8": 4.339,
+    "fig9": 2.063,
+    "fig10": 3.414,
+    "fig11": 25.731,
+    "fig12": 1.616,
+    "nas": 0.25,
+}
+
+#: acceptance floor: the optimized quick suite must run at least this many
+#: times faster than the pre-PR baseline (single worker, cold cache)
+MIN_SPEEDUP = 2.0
+
+#: absolute wall budget for the whole optimized quick suite; generous vs
+#: the ~18 s measured at commit time so slower machines still pass, but
+#: far under the ~41 s pre-PR total
+WALL_BUDGET_SECONDS = 32.0
+
+OUTPUT = ROOT / "BENCH_simspeed.json"
+
+#: child process that times each requested figure against whatever repro
+#: tree PYTHONPATH points at; works for both the baseline and HEAD trees
+#: (the pre-PR runners take only ``quick``, so no executor is passed)
+_CHILD_TIMER = """
+import json, sys, time
+from repro.reporting.experiments import EXPERIMENTS
+out = {}
+for name in json.loads(sys.argv[1]):
+    t0 = time.perf_counter()
+    EXPERIMENTS[name](quick=True)
+    out[name] = time.perf_counter() - t0
+print(json.dumps(out))
+"""
+
+
+def measure_baseline(figures: list) -> "dict | None":
+    """Time the pre-PR quick suite, extracted from git, in a subprocess.
+
+    Returns ``{figure: wall_seconds}`` or None when the baseline tree
+    cannot be produced (no git, shallow history) or fails to run.
+    """
+    with tempfile.TemporaryDirectory(prefix="simspeed-base-") as tmp:
+        tar_path = Path(tmp) / "baseline.tar"
+        try:
+            subprocess.run(
+                ["git", "-C", str(ROOT), "archive", "-o", str(tar_path),
+                 BASELINE_REF, "src"],
+                check=True, capture_output=True, timeout=60,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        with tarfile.open(tar_path) as tf:
+            tf.extractall(tmp)
+        env = dict(os.environ, PYTHONPATH=str(Path(tmp) / "src"))
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", _CHILD_TIMER, json.dumps(figures)],
+                check=True, capture_output=True, timeout=600, env=env,
+                cwd=tmp, text=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_suite() -> dict:
+    """Regenerate every quick figure; returns the benchmark report."""
+    figures = list(FALLBACK_BASELINE_QUICK_SECONDS)
+    baseline = measure_baseline(figures)
+    baseline_mode = "measured" if baseline is not None else "frozen"
+    if baseline is None:
+        baseline = FALLBACK_BASELINE_QUICK_SECONDS
+
+    executor = SweepExecutor(jobs=1, cache_dir=tempfile.mkdtemp(prefix="simspeed-"))
+    report_figures = {}
+    for name in figures:
+        ev0 = Simulator.events_total
+        t0 = time.perf_counter()
+        EXPERIMENTS[name](quick=True, executor=executor)
+        wall = time.perf_counter() - t0
+        events = Simulator.events_total - ev0
+        report_figures[name] = {
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_s": round(events / wall) if wall > 0 else 0,
+            "baseline_wall_s": round(baseline[name], 4),
+            "speedup": round(baseline[name] / wall, 2) if wall > 0 else float("inf"),
+        }
+    total = sum(f["wall_s"] for f in report_figures.values())
+    base_total = sum(baseline[name] for name in figures)
+    return {
+        "suite": "quick",
+        "jobs": 1,
+        "cache": "cold",
+        "phantom": executor.phantom_mode,
+        "baseline_ref": BASELINE_REF,
+        "baseline_mode": baseline_mode,
+        "figures": report_figures,
+        "total_wall_s": round(total, 3),
+        "baseline_total_wall_s": round(base_total, 3),
+        "speedup_total": round(base_total / total, 2),
+        "events_total": sum(f["events"] for f in report_figures.values()),
+        "min_speedup_required": MIN_SPEEDUP,
+        "wall_budget_s": WALL_BUDGET_SECONDS,
+    }
+
+
+def test_simspeed_quick_suite():
+    """The acceptance gate: >=2x vs pre-PR, inside the wall budget."""
+    report = run_suite()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(f"  [baseline: {report['baseline_mode']} @ {report['baseline_ref']}]")
+    for name, f in report["figures"].items():
+        print(f"  {name:6s} {f['baseline_wall_s']:7.3f}s -> {f['wall_s']:7.3f}s "
+              f"(x{f['speedup']:.2f}, {f['events_per_s']:,} ev/s)")
+    print(f"  TOTAL  {report['baseline_total_wall_s']:7.3f}s -> "
+          f"{report['total_wall_s']:7.3f}s (x{report['speedup_total']:.2f})")
+    print(f"  [wrote {OUTPUT}]")
+    assert report["speedup_total"] >= MIN_SPEEDUP, (
+        f"quick suite speedup x{report['speedup_total']} is below the "
+        f"x{MIN_SPEEDUP} acceptance floor"
+    )
+    assert report["total_wall_s"] <= WALL_BUDGET_SECONDS, (
+        f"quick suite took {report['total_wall_s']}s, over the "
+        f"{WALL_BUDGET_SECONDS}s wall budget"
+    )
+
+
+if __name__ == "__main__":
+    test_simspeed_quick_suite()

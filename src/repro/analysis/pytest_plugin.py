@@ -20,10 +20,35 @@ fixture explicitly.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 #: drain bound at teardown; generously above any test scenario's event count
 _QUIESCE_MAX_EVENTS = 10_000_000
+
+
+def pytest_sessionstart(session):
+    """Tier-1 gate: sweep the shipped tree with repro-lint before any test.
+
+    A dirty tree aborts the session immediately — the simulator-aware rules
+    (SKB001, DMA001, SIM001, ...) catch resource-leak and determinism bugs
+    that individual tests may not exercise.  ``REPRO_SKIP_LINT=1`` skips the
+    sweep (e.g. while iterating on a known-dirty tree).
+    """
+    if os.environ.get("REPRO_SKIP_LINT"):
+        return
+    import repro
+    from repro.analysis.lint import lint_paths
+
+    findings, _n_files = lint_paths([Path(repro.__file__).resolve().parent])
+    if findings:
+        raise pytest.UsageError(
+            "repro-lint found problems in the shipped tree "
+            "(set REPRO_SKIP_LINT=1 to bypass):\n"
+            + "\n".join(f.format() for f in findings)
+        )
 
 
 def pytest_configure(config):

@@ -24,6 +24,11 @@ def collect_counters(stack: "OmxStack") -> dict[str, int]:
     host = driver.host
     c: dict[str, int] = {}
 
+    # event loop (simulator-side, but reported with the stack so the
+    # self-benchmark can derive events/second per scenario)
+    c["sim_events_processed"] = host.sim.events_processed
+    c["sim_wall_ms"] = int(host.sim.wall_seconds * 1000)
+
     # NIC / wire
     c["nic_tx_frames"] = host.nic.tx_frames
     c["nic_rx_frames"] = host.nic.rx_frames

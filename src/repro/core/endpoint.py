@@ -15,6 +15,7 @@ core).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional
 
@@ -75,8 +76,12 @@ class OmxEndpoint:
         #: fired when ring slots are released (local senders may block on it)
         self.ring_drain = Signal(self.sim, name=f"omx{self.addr}.ringdrain")
         #: driver→library event queue + wakeup
-        self.events: list[OmxEvent] = []
+        self.events: deque[OmxEvent] = deque()
         self.activity = Signal(self.sim, name=f"omx{self.addr}.activity")
+        # Completion-event labels, precomputed: isend/irecv run per message.
+        self._send_name = f"omx-send@{self.addr}"
+        self._sendv_name = f"omx-sendv@{self.addr}"
+        self._recv_name = f"omx-recv@{self.addr}"
         self.posted_recvs: list[OmxRequest] = []
         self._assemblies: dict[tuple[EndpointAddr, int], _Assembly] = {}
         self._unexpected_done: list[_Assembly] = []
@@ -108,7 +113,7 @@ class OmxEndpoint:
         """Post a send.  Returns the request; completion is asynchronous."""
         length = len(region) - offset if length is None else length
         req = OmxRequest("send", match_info, ~0, region, offset, length, peer=dest)
-        req.completion = self.sim.event(f"omx-send@{self.addr}")
+        req.completion = self.sim.event(self._send_name)
         yield from core.execute(self.driver.params.library_call_cost, "user")
         if dest.host == self.addr.host:
             yield from self.driver.shm.cmd_send_local(core, self, req)
@@ -135,7 +140,7 @@ class OmxEndpoint:
         total = sum(s[2] for s in segments)
         req = OmxRequest("send", match_info, ~0, None, 0, total, peer=dest,
                          segments=list(segments))
-        req.completion = self.sim.event(f"omx-sendv@{self.addr}")
+        req.completion = self.sim.event(self._sendv_name)
         yield from core.execute(self.driver.params.library_call_cost, "user")
         if dest.host == self.addr.host:
             raise NotImplementedError(
@@ -159,7 +164,7 @@ class OmxEndpoint:
         """Post a receive; tries to satisfy it from unexpected traffic."""
         length = len(region) - offset if length is None else length
         req = OmxRequest("recv", match_info, mask, region, offset, length)
-        req.completion = self.sim.event(f"omx-recv@{self.addr}")
+        req.completion = self.sim.event(self._recv_name)
         yield from core.execute(self.driver.params.library_call_cost, "user")
         matched = yield from self._match_unexpected(core, req)
         if not matched:
@@ -196,7 +201,7 @@ class OmxEndpoint:
         """Consume pending events; returns how many were handled."""
         handled = 0
         while self.events:
-            ev = self.events.pop(0)
+            ev = self.events.popleft()
             yield from core.execute(self.driver.params.event_process_cost, "user")
             yield from self._dispatch(core, ev)
             handled += 1

@@ -19,6 +19,7 @@ fragment is copied synchronously instead (memory-starvation guard).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional
 
@@ -46,7 +47,7 @@ class MessageOffloadState:
 
     def __init__(self, channel: DmaChannel):
         self.channel = channel
-        self.pending: list[PendingCopy] = []
+        self.pending: deque[PendingCopy] = deque()
         self.offloaded_bytes = 0
         self.copied_bytes = 0
 
@@ -136,7 +137,7 @@ class OffloadManager:
         done = state.channel.poll()
         freed = 0
         while state.pending and state.pending[0].cookie.last_cookie <= done:
-            entry = state.pending.pop(0)
+            entry = state.pending.popleft()
             entry.skb.free()
             freed += 1
         self.skbuffs_reaped += freed

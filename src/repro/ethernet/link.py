@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.ethernet.frame import EthernetFrame
-from repro.simkernel.resources import Resource
+from repro.simkernel.event import Event
 from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,40 +46,68 @@ class LossInjector:
 
 
 class _Direction:
-    """One direction of the link."""
+    """One direction of the link.
+
+    The serializer is a timestamp FIFO (``_tx_free_at``) instead of a
+    :class:`~repro.simkernel.resources.Resource`: frames queue in call
+    order and each occupies the wire for its serialization time, but no
+    generator :class:`~repro.simkernel.process.Process` (and no per-frame
+    Event chain) is allocated — :meth:`send` schedules two bare callbacks
+    per frame via :meth:`Simulator.call_at` (TX done, delivery).
+    """
 
     def __init__(self, sim: "Simulator", bw: float, delay: int, name: str):
         self.sim = sim
         self.bw = bw
         self.delay = delay
-        self.tx = Resource(sim, 1, name=f"{name}.tx")
+        self.name = name
+        #: absolute time the serializer becomes idle (timestamp FIFO)
+        self._tx_free_at = 0
         self.sink: Optional["Nic"] = None
         self.loss: Optional[LossInjector] = None
         self.frames_sent = 0
         self.bytes_sent = 0
 
+    def send(self, frame: EthernetFrame,
+             on_serialized: Optional[Callable[[bool], None]] = None) -> None:
+        """Fast path: serialize ``frame`` FIFO and schedule its delivery.
+
+        ``on_serialized(ok)`` (if given) runs when the frame leaves the
+        wire-side serializer; ``ok`` is False when the loss injector dropped
+        the frame.  No Process objects are allocated.
+        """
+        sim = self.sim
+        start = self._tx_free_at if self._tx_free_at > sim.now else sim.now
+        frame.sent_at = start
+        done_at = start + frame.serialization_time(self.bw)
+        self._tx_free_at = done_at
+
+        def tx_done() -> None:
+            index = self.frames_sent
+            self.frames_sent += 1
+            self.bytes_sent += frame.wire_len
+            delivered = not (
+                self.loss is not None and self.loss.should_drop(frame, index)
+            )
+            if delivered:
+                sink = self.sink
+                if sink is not None:
+                    sim.call_at(sim.now + self.delay, lambda: sink.on_frame(frame))
+            if on_serialized is not None:
+                on_serialized(delivered)
+
+        sim.call_at(done_at, tx_done)
+
     def transmit(self, frame: EthernetFrame) -> Generator:
-        """Serialize ``frame`` and schedule its delivery."""
-        yield self.tx.request()
-        try:
-            frame.sent_at = self.sim.now
-            yield self.sim.timeout(frame.serialization_time(self.bw))
-        finally:
-            self.tx.release()
-        index = self.frames_sent
-        self.frames_sent += 1
-        self.bytes_sent += frame.wire_len
-        if self.loss is not None and self.loss.should_drop(frame, index):
-            return False
-        sink = self.sink
+        """Generator façade over :meth:`send` (yieldable from processes).
 
-        def deliver() -> Generator:
-            yield self.sim.timeout(self.delay)
-            if sink is not None:
-                sink.on_frame(frame)
-
-        self.sim.daemon(deliver(), name="link-deliver")
-        return True
+        Returns True once the frame finished serializing, False if the loss
+        injector dropped it.
+        """
+        done = Event(self.sim, "link.transmit")
+        self.send(frame, on_serialized=done.succeed)
+        delivered = yield done
+        return delivered
 
 
 class Link:

@@ -17,10 +17,12 @@ format — mirroring the real Myri-10G board's two personalities.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.ethernet.frame import EthernetFrame
 from repro.ethernet.skbuff import Skbuff, SkbuffPool
+from repro.memory import phantom
 from repro.params import NicParams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,8 +56,8 @@ class Nic:
         self.softirq: Optional["SoftirqEngine"] = None
         #: native-firmware hook: when set, frames bypass the skbuff path
         self.frame_sink: Optional[Callable[[EthernetFrame], None]] = None
-        #: pre-posted receive buffers
-        self._rx_ring: list[Skbuff] = []
+        #: pre-posted receive buffers (FIFO: NIC consumes in post order)
+        self._rx_ring: deque[Skbuff] = deque()
         # statistics
         self.rx_frames = 0
         self.tx_frames = 0
@@ -80,14 +82,20 @@ class Nic:
         if not self._rx_ring:
             self.rx_dropped += 1
             return
-        skb = self._rx_ring.pop(0)
+        skb = self._rx_ring.popleft()
         payload = frame.payload
         data = getattr(payload, "gather_data", None)
         if data is not None:
-            raw = payload.gather_data()
-            n = min(len(raw), len(skb.head))
-            if n:
-                skb.head.write(0, raw[:n])
+            n = getattr(payload, "data_length", None)
+            if n is None or not phantom.elide(n):
+                raw = payload.gather_data()
+                n = min(len(raw), len(skb.head))
+                if n:
+                    skb.head.write(0, raw[:n])
+            else:
+                # Phantom mode: the DMA/cache accounting below is all the
+                # cost model reads; skip gathering and storing the bytes.
+                n = min(n, len(skb.head))
             skb.data_len = n
         else:
             skb.data_len = min(frame.payload_len, len(skb.head))
@@ -108,20 +116,24 @@ class Nic:
         """Driver transmit path: charge CPU, hand to the link, free on TX done.
 
         The caller must hold ``core`` (this runs in syscall or BH context).
-        Serialization happens in a background process so the CPU is released
-        after the doorbell — like a real descriptor-ring NIC.
+        Serialization happens asynchronously so the CPU is released after the
+        doorbell — like a real descriptor-ring NIC.  The async part is two
+        bare callbacks (descriptor fetch, then the link's TX-done), not a
+        generator process: this path runs once per wire frame.
         """
         if self._egress is None:
             raise RuntimeError("NIC has no link attached")
         yield from core.busy(self.params.tx_frame_cost, "driver")
         skb.frame = frame
         egress = self._egress
+        sim = self.sim
 
-        def do_send() -> Generator:
-            yield self.sim.timeout(self.params.per_frame_cost)
-            yield from egress.transmit(frame)
+        def tx_complete(delivered: bool) -> None:
             self.tx_frames += 1
             skb.free()  # TX completion releases the buffer (and page frags)
 
-        self.sim.daemon(do_send(), name="nic-tx")
+        sim.call_at(
+            sim.now + self.params.per_frame_cost,
+            lambda: egress.send(frame, on_serialized=tx_complete),
+        )
         return None

@@ -1,6 +1,6 @@
 """One I/OAT DMA channel.
 
-The channel is a self-clocked server: a background process drains the
+The channel is a self-clocked server: a callback state machine drains the
 descriptor ring in FIFO order.  Each descriptor costs
 ``per_descriptor_cost + length / engine_bw`` of engine time — the model
 behind the Fig. 7 curves (chunk size sweeps the fixed-cost amortisation).
@@ -14,7 +14,7 @@ cache (§IV-A).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.ioat.descriptor import CopyDescriptor, DescriptorRing
 from repro.memory.buffers import copy_bytes
@@ -44,7 +44,8 @@ class DmaChannel:
         self.ring = DescriptorRing(params.ring_size)
         self._work = Signal(sim, name=f"ioat{index}.work")
         self._completion = Signal(sim, name=f"ioat{index}.completion")
-        self._running = False
+        #: True while a descriptor is in flight on the engine
+        self._busy = False
         #: optional TraceRecorder (Fig. 5/6-style timelines)
         self.trace = None
         #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
@@ -54,7 +55,6 @@ class DmaChannel:
         self.descriptors_completed = 0
         self.bytes_copied = 0
         self.busy_ticks = 0
-        sim.daemon(self._engine_loop(), name=f"ioat-ch{index}")
 
     # -- host-side API -----------------------------------------------------
 
@@ -69,6 +69,8 @@ class DmaChannel:
         if self.observer is not None:
             self.observer.on_dma_submit(self, cookie, desc)
         self._work.fire()
+        if not self._busy:
+            self._service_next()
         return cookie
 
     def poll(self) -> int:
@@ -102,25 +104,37 @@ class DmaChannel:
         move = int(round(length * SEC / self.params.engine_bw))
         return self.params.per_descriptor_cost + max(move, 1)
 
-    def _engine_loop(self) -> Generator:
-        self._running = True
-        while True:
-            desc = self.ring.oldest_pending()
-            if desc is None:
-                yield self._work.wait()
-                continue
-            t = self.service_time(desc.length)
-            start = self.sim.now
-            yield self.sim.timeout(t)
-            self.busy_ticks += t
-            if self.trace is not None and self.trace.enabled:
-                self.trace.record(f"I/OAT ch{self.index}", f"Copy#{desc.cookie}",
-                                  start, self.sim.now, "dma")
-            copy_bytes(desc.src, desc.src_off, desc.dst, desc.dst_off, desc.length)
-            if self.caches is not None:
-                # DMA write snoops: destination lines leave all CPU caches.
-                self.caches.invalidate_all(desc.dst.addr + desc.dst_off, desc.length)
-            desc.completed_at = self.sim.now
-            self.descriptors_completed += 1
-            self.bytes_copied += desc.length
-            self._completion.fire(desc.cookie)
+    def _service_next(self) -> None:
+        """Start executing the oldest pending descriptor, if any.
+
+        The engine is a callback state machine rather than a generator
+        daemon: each descriptor costs exactly one heap entry (the
+        ``call_at`` below) instead of a Timeout event plus a process
+        resume plus a work-signal wakeup.  Same simulated times — a
+        submission at time T with service time t still completes at T+t —
+        but an order of magnitude fewer host-side allocations on the
+        fig. 11 pull path, which retires one descriptor per 4 KiB chunk.
+        """
+        desc = self.ring.oldest_pending()
+        if desc is None:
+            self._busy = False
+            return
+        self._busy = True
+        t = self.service_time(desc.length)
+        start = self.sim.now
+        self.sim.call_at(start + t, lambda: self._finish(desc, t, start))
+
+    def _finish(self, desc: CopyDescriptor, t: int, start: int) -> None:
+        self.busy_ticks += t
+        if self.trace is not None and self.trace.enabled:
+            self.trace.record(f"I/OAT ch{self.index}", f"Copy#{desc.cookie}",
+                              start, self.sim.now, "dma")
+        copy_bytes(desc.src, desc.src_off, desc.dst, desc.dst_off, desc.length)
+        if self.caches is not None:
+            # DMA write snoops: destination lines leave all CPU caches.
+            self.caches.invalidate_all(desc.dst.addr + desc.dst_off, desc.length)
+        desc.completed_at = self.sim.now
+        self.descriptors_completed += 1
+        self.bytes_copied += desc.length
+        self._completion.fire(desc.cookie)
+        self._service_next()

@@ -52,6 +52,13 @@ class DescriptorRing:
             raise ValueError("ring size must be >= 1")
         self.size = size
         self._ring: deque[CopyDescriptor] = deque()
+        # Completed-prefix view: descriptors not yet *observed* done, in
+        # submission order.  Because hardware completion is in order, the
+        # head of this deque is always the oldest pending descriptor, so
+        # oldest_pending() and last_completed_cookie() are O(1) amortised
+        # instead of rescanning the ring (which busy-polls rescan per
+        # completion on multi-megabyte synchronous copies).
+        self._pending: deque[CopyDescriptor] = deque()
         self._next_cookie = 0
 
     def __len__(self) -> int:
@@ -68,14 +75,15 @@ class DescriptorRing:
         desc.cookie = self._next_cookie
         self._next_cookie += 1
         self._ring.append(desc)
+        self._pending.append(desc)
         return desc.cookie
 
     def oldest_pending(self) -> Optional[CopyDescriptor]:
         """The oldest descriptor not yet completed, if any."""
-        for d in self._ring:
-            if not d.done:
-                return d
-        return None
+        pend = self._pending
+        while pend and pend[0].done:
+            pend.popleft()
+        return pend[0] if pend else None
 
     def reap_completed(self) -> list[CopyDescriptor]:
         """Pop-and-return the completed prefix of the ring."""
@@ -90,10 +98,7 @@ class DescriptorRing:
         Because completion is in-order this is exactly the hardware's
         status-writeback value.
         """
-        last = self._next_cookie - len(self._ring) - 1
-        for d in self._ring:
-            if d.done:
-                last = d.cookie
-            else:
-                break
-        return last
+        pend = self._pending
+        while pend and pend[0].done:
+            pend.popleft()
+        return (pend[0].cookie if pend else self._next_cookie) - 1

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.memory import phantom
 from repro.memory.layout import page_range
 from repro.units import PAGE_SIZE
 
@@ -72,11 +73,14 @@ class MemoryRegion:
     # -- data access ----------------------------------------------------------
 
     def write(self, offset: int, payload: bytes | np.ndarray) -> None:
-        """Store ``payload`` at ``offset``."""
-        buf = np.frombuffer(payload, dtype=np.uint8) if isinstance(payload, (bytes, bytearray)) else payload
-        if offset < 0 or offset + buf.size > len(self):
+        """Store ``payload`` at ``offset`` (elided above the phantom floor)."""
+        n = len(payload) if isinstance(payload, (bytes, bytearray)) else int(payload.size)
+        if offset < 0 or offset + n > len(self):
             raise ValueError("write outside region")
-        self.data[offset : offset + buf.size] = buf
+        if phantom.elide(n):
+            return
+        buf = np.frombuffer(payload, dtype=np.uint8) if isinstance(payload, (bytes, bytearray)) else payload
+        self.data[offset : offset + n] = buf
 
     def read(self, offset: int = 0, length: Optional[int] = None) -> np.ndarray:
         """A view of ``length`` bytes at ``offset``."""
@@ -92,6 +96,8 @@ class MemoryRegion:
     def fill_pattern(self, seed: int = 0) -> None:
         """Fill with a cheap deterministic pattern (for tests/benchmarks)."""
         n = len(self)
+        if phantom.elide(n):
+            return
         idx = np.arange(n, dtype=np.uint32)
         self.data[:] = ((idx * 2654435761 + seed * 97) >> 8).astype(np.uint8)
 
@@ -100,8 +106,12 @@ class MemoryRegion:
 
 
 def copy_bytes(src: MemoryRegion, src_off: int, dst: MemoryRegion, dst_off: int, length: int) -> None:
-    """Move real bytes between regions (the data plane of every copy path)."""
-    if length == 0:
+    """Move real bytes between regions (the data plane of every copy path).
+
+    In phantom mode the store is elided above the integrity floor; the
+    caller's cost/cache/bus accounting is unaffected (content-blind model).
+    """
+    if length == 0 or phantom.elide(length):
         return
     dst.data[dst_off : dst_off + length] = src.data[src_off : src_off + length]
 

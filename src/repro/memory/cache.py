@@ -77,6 +77,8 @@ class L2Cache:
 
     def invalidate(self, addr: int, length: int) -> None:
         """Drop the range (DMA write snoop invalidation)."""
+        if not self._resident:
+            return  # nothing cached: skip the page-range walk (hot RX path)
         for p in page_range(addr, length):
             self._resident.pop(p, None)
 

@@ -1,0 +1,80 @@
+"""Phantom-payload mode: charge copies without moving bytes (perf layer).
+
+The simulator's cost model is *content-blind*: copy durations depend on
+lengths, page offsets, cache residency and bus contention — never on the
+byte values being moved.  Moving real bytes therefore only matters for the
+end-to-end integrity checks of the test suite; for figure sweeps it is pure
+wall-clock overhead (the very overhead the paper removes from the receive
+path with I/OAT).
+
+When phantom mode is active, bulk data-plane byte movement is elided while
+every cost, counter and cache side effect is charged exactly as before:
+
+* :func:`repro.memory.buffers.copy_bytes` (CPU memcpy, I/OAT descriptors,
+  shared-memory strips) skips the store;
+* :meth:`repro.memory.buffers.MemoryRegion.write` (NIC DMA deposit, native
+  firmware deposit) skips the store;
+* :meth:`repro.memory.buffers.MemoryRegion.fill_pattern` skips the fill.
+
+Copies of at most :data:`INTEGRITY_FLOOR` bytes always move real bytes.
+Control-plane payloads ride below the floor — tiny eager messages (<= 32 B),
+the NAS IS count alltoall (4 B) and histogram allreduce (16 B), the PVFS
+strip-id control packets (8 B) — so every *content-dependent* branch of the
+workloads sees real data and simulated timings are bit-identical between
+modes (``tests/test_perf_layer.py`` proves it).
+
+Byte-moving integrity mode stays the default; figure sweeps
+(:mod:`repro.reporting.sweeps`) default to phantom.  The ``REPRO_PHANTOM``
+environment variable (``0``/``1``) overrides the sweep default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: copies at or below this length always move real bytes, keeping
+#: control-plane payloads (counts, strip ids, tiny messages) intact
+INTEGRITY_FLOOR = 64
+
+_active = False
+
+
+def set_active(on: bool) -> None:
+    """Globally enable/disable phantom payload elision."""
+    global _active
+    _active = bool(on)
+
+
+def is_active() -> bool:
+    """True while phantom mode is on."""
+    return _active
+
+
+def elide(length: int) -> bool:
+    """Should a byte movement of ``length`` be skipped right now?"""
+    return _active and length > INTEGRITY_FLOOR
+
+
+def env_default(default: bool = True) -> bool:
+    """The phantom default for sweeps, honouring ``REPRO_PHANTOM``."""
+    raw = os.environ.get("REPRO_PHANTOM")
+    if raw is None or raw == "":
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+class phantom_payloads:
+    """Context manager scoping phantom mode (used by sweeps and tests)."""
+
+    def __init__(self, on: bool = True):
+        self.on = on
+        self._prev: Optional[bool] = None
+
+    def __enter__(self) -> "phantom_payloads":
+        self._prev = _active
+        set_active(self.on)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_active(bool(self._prev))

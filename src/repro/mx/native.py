@@ -207,12 +207,13 @@ class NativeMxStack:
 
         # The firmware pipelines descriptor processing with the wire: it
         # hands the frame to the serializer and moves on (FIFO order is
-        # preserved by the link's transmit resource).
-        def put_on_wire() -> Generator:
-            yield from egress.transmit(frame)
-            self.host.nic.tx_frames += 1
+        # preserved by the link's timestamp queue).
+        nic = self.host.nic
 
-        self.sim.daemon(put_on_wire(), name="mxfw-wire")
+        def on_wire(delivered: bool) -> None:
+            nic.tx_frames += 1
+
+        egress.send(frame, on_serialized=on_wire)
         return None
 
     def _firmware_tx_loop(self) -> Generator:

@@ -7,6 +7,12 @@ the paper's evaluation section and returns a rendered-able result object
 ``main``) runs any of them; the pytest-benchmark files under
 ``benchmarks/`` wrap the same runners.
 
+Runners declare their sweep as a list of independent *points* and execute
+them through a :class:`~repro.reporting.sweeps.SweepExecutor` — which
+memoizes points on disk and can fan out over ``REPRO_JOBS`` worker
+processes.  Pass ``executor=`` to share one executor (and its statistics)
+across runners; the default executor is configured from the environment.
+
 ``quick=True`` trims sizes/iterations for CI-speed runs; the shapes remain.
 """
 
@@ -16,16 +22,11 @@ import argparse
 import sys
 from typing import Callable, Optional
 
-from repro.cluster.testbed import build_single_node, build_testbed
-from repro.imb import run_imb
-from repro.ioat.descriptor import CopyDescriptor
-from repro.memory.buffers import AddressSpace
-from repro.mpi import create_world
 from repro.params import clovertown_5000x
 from repro.reporting.figures import Figure
+from repro.reporting.sweeps import SweepExecutor, point
 from repro.reporting.table import Table
-from repro.units import GiB, KiB, MiB, PAGE_SIZE, SEC, throughput_mib_s
-from repro.workloads import run_nas_is, run_shm_pingpong, run_stream_usage
+from repro.units import GiB, KiB, MiB, SEC
 
 # ---------------------------------------------------------------------------
 # shared sweeps
@@ -36,33 +37,54 @@ SWEEP_SIZES = [16, 64, 256, 1 * KiB, 4 * KiB, 16 * KiB, 32 * KiB, 64 * KiB,
 QUICK_SIZES = [16, 4 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
 
 
+def _executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    return executor if executor is not None else SweepExecutor()
+
+
 def _pingpong_mib_s(stack: str, size: int, iters: int, **omx) -> float:
-    tb = build_testbed(stacks=stack, **omx)
-    comm = create_world(tb, ppn=1)
-    res = run_imb(tb, comm, "PingPong", size, iterations=iters, warmup=2)
-    return res.mib_s
+    """One ping-pong point, run directly (kept for tests/benchmarks)."""
+    from repro.reporting import sweeps
+
+    return sweeps.point_pingpong(stack, size, iters, omx)
+
+
+def _memcpy_chunked_mib_s(size: int, chunk: int) -> float:
+    from repro.reporting import sweeps
+
+    return sweeps.point_memcpy_chunked(size, chunk)
+
+
+def _ioat_chunked_mib_s(size: int, chunk: int) -> float:
+    from repro.reporting import sweeps
+
+    return sweeps.point_ioat_chunked(size, chunk)
 
 
 # ---------------------------------------------------------------------------
 # Figure 3 — expected improvement when removing the BH receive copy
 # ---------------------------------------------------------------------------
 
-def fig3(quick: bool = False) -> Figure:
+def fig3(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Figure:
     """MX vs Open-MX vs Open-MX with the BH copy ignored (prediction)."""
     sizes = QUICK_SIZES if quick else SWEEP_SIZES
     iters = 3 if quick else 5
     fig = Figure("FIG3", "Expected Open-MX improvement without the BH receive copy",
                  "message size", "throughput (MiB/s)")
     configs = [
-        ("MX", dict(stack="mx")),
-        ("Open-MX ignoring BH receive copy", dict(stack="omx", ignore_bh_copy=True)),
-        ("Open-MX", dict(stack="omx")),
+        ("MX", "mx", {}),
+        ("Open-MX ignoring BH receive copy", "omx", dict(ignore_bh_copy=True)),
+        ("Open-MX", "omx", {}),
     ]
-    for label, cfg in configs:
+    points = [
+        point("pingpong", stack=stack, size=size, iters=iters, omx=cfg)
+        for _label, stack, cfg in configs
+        for size in sizes
+    ]
+    values = iter(_executor(executor).run(points))
+    for label, _stack, _cfg in configs:
         s = fig.new_series(label)
-        stack = cfg.pop("stack")
         for size in sizes:
-            s.add(size, _pingpong_mib_s(stack, size, iters, **cfg))
+            s.add(size, next(values))
     return fig
 
 
@@ -70,7 +92,7 @@ def fig3(quick: bool = False) -> Figure:
 # Figure 7 — pipelined memcpy vs I/OAT copy for several chunk sizes
 # ---------------------------------------------------------------------------
 
-def fig7(quick: bool = False) -> Figure:
+def fig7(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Figure:
     """Raw copy throughput when streams are split into fixed chunks."""
     copy_sizes = [256, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB]
     if quick:
@@ -79,18 +101,18 @@ def fig7(quick: bool = False) -> Figure:
     fig = Figure("FIG7", "Pipelined memcpy vs I/OAT copy by chunk size",
                  "copy size", "throughput (MiB/s)")
 
-    for chunk in chunk_sizes:
-        s = fig.new_series(f"Memcpy - {_sz(chunk)} chunks")
-        for size in copy_sizes:
-            if size < chunk:
-                continue
-            s.add(size, _memcpy_chunked_mib_s(size, chunk))
-    for chunk in chunk_sizes:
-        s = fig.new_series(f"I/OAT Copy - {_sz(chunk)} chunks")
-        for size in copy_sizes:
-            if size < chunk:
-                continue
-            s.add(size, _ioat_chunked_mib_s(size, chunk))
+    series: list[tuple[str, list[int]]] = []
+    points = []
+    for kind, label in (("memcpy_chunked", "Memcpy"), ("ioat_chunked", "I/OAT Copy")):
+        for chunk in chunk_sizes:
+            sizes = [size for size in copy_sizes if size >= chunk]
+            series.append((f"{label} - {_sz(chunk)} chunks", sizes))
+            points.extend(point(kind, size=size, chunk=chunk) for size in sizes)
+    values = iter(_executor(executor).run(points))
+    for label, sizes in series:
+        s = fig.new_series(label)
+        for size in sizes:
+            s.add(size, next(values))
     return fig
 
 
@@ -98,72 +120,18 @@ def _sz(n: int) -> str:
     return f"{n >> 10}kB" if n >= 1024 else f"{n}B"
 
 
-def _memcpy_chunked_mib_s(size: int, chunk: int) -> float:
-    """Uncached pipelined memcpy, chunked (fresh buffers: cache-cold)."""
-    tb = build_single_node()
-    host = tb.hosts[0]
-    core = host.user_core(0)
-    space = AddressSpace("fig7")
-    src, dst = space.alloc(size), space.alloc(size)
-    done = tb.sim.event()
-
-    def work():
-        yield core.res.request()
-        t0 = tb.sim.now
-        yield from host.copier.memcpy(core, src, 0, dst, 0, size, "bench", chunk=chunk)
-        core.res.release()
-        done.succeed(tb.sim.now - t0)
-
-    tb.sim.process(work())
-    elapsed = tb.sim.run_until(done)
-    return throughput_mib_s(size, elapsed)
-
-
-def _ioat_chunked_mib_s(size: int, chunk: int) -> float:
-    """I/OAT copy split into fixed chunks, submission pipelined with the
-    engine (the Fig. 7 measurement loop)."""
-    tb = build_single_node()
-    host = tb.hosts[0]
-    core = host.user_core(0)
-    space = AddressSpace("fig7io")
-    src, dst = space.alloc(size), space.alloc(size)
-    ch = host.ioat_engine[0]
-    done = tb.sim.event()
-
-    def work():
-        yield core.res.request()
-        t0 = tb.sim.now
-        last = -1
-        pos = 0
-        while pos < size:
-            n = min(chunk, size - pos)
-            while ch.ring.free_slots == 0:
-                # Ring full: wait for the hardware and reap completed
-                # descriptors (what the real driver's cleanup does).
-                yield ch.wait_completion().wait()
-                ch.reap()
-            yield from core.busy(host.params.ioat.submit_cost, "bench")
-            last = ch.submit(CopyDescriptor(src, pos, dst, pos, n))
-            pos += n
-        while not ch.is_complete(last):
-            yield ch.wait_completion().wait()
-        ch.reap()
-        core.res.release()
-        done.succeed(tb.sim.now - t0)
-
-    tb.sim.daemon(work(), name="fig7-ioat")
-    elapsed = tb.sim.run_until(done)
-    return throughput_mib_s(size, elapsed)
-
-
 # ---------------------------------------------------------------------------
 # §IV-A scalars — submission cost, break-even sizes
 # ---------------------------------------------------------------------------
 
-def micro(quick: bool = False) -> Table:
+def micro(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Table:
     """The micro-benchmark scalars quoted in §IV-A."""
     plat = clovertown_5000x()
     hp = plat.host
+    ioat_4k, memcpy_4k = _executor(executor).run([
+        point("ioat_chunked", size=1 * MiB, chunk=4 * KiB),
+        point("memcpy_chunked", size=1 * MiB, chunk=4 * KiB),
+    ])
     t = Table("MICRO: §IV-A scalar measurements",
               ["quantity", "paper", "model"])
     t.add_row("I/OAT submission cost (ns)", "~350", hp.ioat.submit_cost)
@@ -177,10 +145,8 @@ def micro(quick: bool = False) -> Table:
     be_cached = int(hp.ioat.submit_cost * hp.cache.cached_copy_bw / SEC)
     t.add_row("break-even size, uncached (B)", "~600", be_uncached)
     t.add_row("break-even size, cached (B)", "~2048", be_cached)
-    t.add_row("I/OAT rate @4kB chunks (GiB/s)", "~2.4",
-              f"{_ioat_chunked_mib_s(1 * MiB, 4 * KiB) / 1024:.2f}")
-    t.add_row("memcpy @4kB chunks (GiB/s)", "~1.5",
-              f"{_memcpy_chunked_mib_s(1 * MiB, 4 * KiB) / 1024:.2f}")
+    t.add_row("I/OAT rate @4kB chunks (GiB/s)", "~2.4", f"{ioat_4k / 1024:.2f}")
+    t.add_row("memcpy @4kB chunks (GiB/s)", "~1.5", f"{memcpy_4k / 1024:.2f}")
     return t
 
 
@@ -188,7 +154,7 @@ def micro(quick: bool = False) -> Table:
 # Figure 8 — ping-pong with I/OAT copy offload in the BH
 # ---------------------------------------------------------------------------
 
-def fig8(quick: bool = False) -> Figure:
+def fig8(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Figure:
     sizes = QUICK_SIZES if quick else SWEEP_SIZES
     iters = 3 if quick else 5
     fig = Figure("FIG8", "Ping-pong with I/OAT asynchronous copy offload",
@@ -199,10 +165,16 @@ def fig8(quick: bool = False) -> Figure:
         ("Open-MX with DMA copy in BH receive", "omx", dict(ioat_enabled=True)),
         ("Open-MX", "omx", {}),
     ]
-    for label, stack, cfg in configs:
+    points = [
+        point("pingpong", stack=stack, size=size, iters=iters, omx=cfg)
+        for _label, stack, cfg in configs
+        for size in sizes
+    ]
+    values = iter(_executor(executor).run(points))
+    for label, _stack, _cfg in configs:
         s = fig.new_series(label)
         for size in sizes:
-            s.add(size, _pingpong_mib_s(stack, size, iters, **cfg))
+            s.add(size, next(values))
     return fig
 
 
@@ -213,25 +185,30 @@ def fig8(quick: bool = False) -> Figure:
 FIG9_SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB]
 
 
-def fig9(quick: bool = False) -> Table:
+def fig9(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Table:
     sizes = FIG9_SIZES[:-1] if quick else FIG9_SIZES
     iters = 6 if quick else 10
     t = Table(
         "FIG9: receiver CPU usage (% of one core) while streaming large messages",
         ["size", "mode", "user-lib %", "driver %", "BH recv %", "total %", "MiB/s"],
     )
+    # Registration cache off: the paper's Fig. 9 driver band is the
+    # per-transfer memory pinning inside the system call ("driver time is
+    # higher because it involves memory pinning during a system call prior
+    # to the data transfer").
+    points = [
+        point("stream_usage", size=size, iters=iters, ioat=ioat, regcache=False)
+        for ioat in (False, True)
+        for size in sizes
+    ]
+    values = iter(_executor(executor).run(points))
     for ioat in (False, True):
         for size in sizes:
-            # Registration cache off: the paper's Fig. 9 driver band is the
-            # per-transfer memory pinning inside the system call ("driver
-            # time is higher because it involves memory pinning during a
-            # system call prior to the data transfer").
-            tb = build_testbed(ioat_enabled=ioat, regcache_enabled=False)
-            u = run_stream_usage(tb, size, iterations=iters)
+            u = next(values)
             t.add_row(
                 _sz_mib(size), "DMA" if ioat else "Memcpy",
-                u.user_pct, u.driver_pct, u.bh_pct, u.total_pct,
-                u.throughput_mib_s,
+                u["user_pct"], u["driver_pct"], u["bh_pct"], u["total_pct"],
+                u["throughput_mib_s"],
             )
     return t
 
@@ -244,7 +221,7 @@ def _sz_mib(n: int) -> str:
 # Figure 10 — shared-memory one-copy communication
 # ---------------------------------------------------------------------------
 
-def fig10(quick: bool = False) -> Figure:
+def fig10(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Figure:
     sizes = [16, 256, 4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB] if quick else [
         16, 256, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB,
         1 * MiB, 4 * MiB, 16 * MiB,
@@ -257,11 +234,16 @@ def fig10(quick: bool = False) -> Figure:
         ("Memcpy between different processor sockets", "cross_socket", {}),
         ("I/OAT offloaded synchronous copy", "same_die", dict(ioat_enabled=True)),
     ]
-    for label, placement, cfg in configs:
+    points = [
+        point("shm_pingpong", size=size, placement=placement, iters=iters, cfg=cfg)
+        for _label, placement, cfg in configs
+        for size in sizes
+    ]
+    values = iter(_executor(executor).run(points))
+    for label, _placement, _cfg in configs:
         s = fig.new_series(label)
         for size in sizes:
-            tb = build_single_node(**cfg)
-            s.add(size, run_shm_pingpong(tb, size, placement, iterations=iters))
+            s.add(size, next(values))
     return fig
 
 
@@ -269,7 +251,7 @@ def fig10(quick: bool = False) -> Figure:
 # Figure 11 — IMB PingPong with/without I/OAT and registration cache
 # ---------------------------------------------------------------------------
 
-def fig11(quick: bool = False) -> Figure:
+def fig11(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Figure:
     sizes = (QUICK_SIZES + [16 * MiB]) if quick else (SWEEP_SIZES + [16 * MiB])
     iters = 3 if quick else 5
     fig = Figure("FIG11", "IMB PingPong: I/OAT and registration cache",
@@ -282,10 +264,16 @@ def fig11(quick: bool = False) -> Figure:
          dict(ioat_enabled=True, regcache_enabled=False)),
         ("Open-MX w/o regcache", "omx", dict(regcache_enabled=False)),
     ]
-    for label, stack, cfg in configs:
+    points = [
+        point("pingpong", stack=stack, size=size, iters=iters, omx=cfg)
+        for _label, stack, cfg in configs
+        for size in sizes
+    ]
+    values = iter(_executor(executor).run(points))
+    for label, _stack, _cfg in configs:
         s = fig.new_series(label)
         for size in sizes:
-            s.add(size, _pingpong_mib_s(stack, size, iters, **cfg))
+            s.add(size, next(values))
     return fig
 
 
@@ -298,7 +286,8 @@ FIG12_TESTS = ["PingPong", "PingPing", "SendRecv", "Exchange", "Allreduce",
                "Bcast"]
 
 
-def fig12(quick: bool = False, sizes: Optional[list[int]] = None) -> Table:
+def fig12(quick: bool = False, sizes: Optional[list[int]] = None,
+          executor: Optional[SweepExecutor] = None) -> Table:
     sizes = sizes if sizes is not None else ([128 * KiB] if quick else [128 * KiB, 4 * MiB])
     tests = FIG12_TESTS[:4] + ["Allreduce", "Alltoall", "Bcast"] if quick else FIG12_TESTS
     iters = 2 if quick else 4
@@ -306,18 +295,20 @@ def fig12(quick: bool = False, sizes: Optional[list[int]] = None) -> Table:
         "FIG12: IMB performance as percentage of MXoE (higher is better)",
         ["test", "size", "ppn", "Open-MX %", "Open-MX + I/OAT %"],
     )
-
-    def time_of(stack: str, test: str, size: int, ppn: int, **omx) -> float:
-        tb = build_testbed(stacks=stack, **omx)
-        comm = create_world(tb, ppn=ppn)
-        return run_imb(tb, comm, test, size, iterations=iters, warmup=1).t_avg_us
-
+    variants = [("mx", {}), ("omx", {}), ("omx", dict(ioat_enabled=True))]
+    points = [
+        point("imb_time", stack=stack, test=test, size=size, ppn=ppn,
+              iters=iters, omx=cfg)
+        for size in sizes
+        for ppn in (1, 2)
+        for test in tests
+        for stack, cfg in variants
+    ]
+    values = iter(_executor(executor).run(points))
     for size in sizes:
         for ppn in (1, 2):
             for test in tests:
-                base = time_of("mx", test, size, ppn)
-                plain = time_of("omx", test, size, ppn)
-                ioat = time_of("omx", test, size, ppn, ioat_enabled=True)
+                base, plain, ioat = next(values), next(values), next(values)
                 t.add_row(test, _sz_mib(size), ppn,
                           100.0 * base / plain, 100.0 * base / ioat)
     return t
@@ -327,27 +318,29 @@ def fig12(quick: bool = False, sizes: Optional[list[int]] = None) -> Table:
 # NAS IS (§IV-D)
 # ---------------------------------------------------------------------------
 
-def nas(quick: bool = False) -> Table:
+def nas(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Table:
     # 2^18 keys/rank -> ~1 MiB of keys, ~256 KiB alltoallv blocks: the
     # large-message regime the paper credits for IS's 10 % gain.
     keys = 1 << (16 if quick else 18)
     iters = 2 if quick else 3
     t = Table("NAS IS kernel (2 nodes x 2 ppn)",
               ["stack", "total ms", "comm ms", "sorted", "vs Open-MX"])
-    results = {}
-    for label, stack, cfg in [
+    configs = [
         ("MXoE", "mx", {}),
         ("Open-MX", "omx", {}),
         ("Open-MX + I/OAT", "omx", dict(ioat_enabled=True)),
-    ]:
-        tb = build_testbed(stacks=stack, **cfg)
-        comm = create_world(tb, ppn=2)
-        results[label] = run_nas_is(tb, comm, keys_per_rank=keys, iterations=iters)
-    base = results["Open-MX"].total_time_us
+    ]
+    points = [
+        point("nas_is", stack=stack, keys=keys, iters=iters, omx=cfg)
+        for _label, stack, cfg in configs
+    ]
+    values = _executor(executor).run(points)
+    results = {label: r for (label, _s, _c), r in zip(configs, values)}
+    base = results["Open-MX"]["total_time_us"]
     for label, r in results.items():
-        speedup = 100.0 * (base / r.total_time_us - 1.0)
-        t.add_row(label, r.total_time_us / 1000.0, r.comm_time_us / 1000.0,
-                  "yes" if r.sorted_ok else "NO", f"{speedup:+.1f}%")
+        speedup = 100.0 * (base / r["total_time_us"] - 1.0)
+        t.add_row(label, r["total_time_us"] / 1000.0, r["comm_time_us"] / 1000.0,
+                  "yes" if r["sorted_ok"] else "NO", f"{speedup:+.1f}%")
     return t
 
 
@@ -380,11 +373,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="smaller sweeps / fewer iterations")
     parser.add_argument("--csv", metavar="FILE",
                         help="also write the data as CSV")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk sweep-point cache")
     args = parser.parse_args(argv)
 
+    ex = SweepExecutor(jobs=args.jobs, cache=not args.no_cache)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = EXPERIMENTS[name](quick=args.quick)
+        result = EXPERIMENTS[name](quick=args.quick, executor=ex)
         print(result.render())
         print()
         if args.csv:
@@ -392,6 +390,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             with open(path, "w") as fh:
                 fh.write(result.to_csv())
             print(f"[wrote {path}]")
+    if ex.stats.points:
+        print(f"[sweep: {ex.stats.points} points, {ex.stats.cache_hits} cached, "
+              f"{ex.stats.computed} computed, jobs={ex.jobs}, "
+              f"phantom={'on' if ex.phantom_mode else 'off'}]")
     return 0
 
 

@@ -114,9 +114,16 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: object = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim, name or f"timeout({delay})")
+        # The name is left empty unless given: timeouts are the hottest event
+        # kind, and __repr__ falls back to the class name + delay anyway.
+        super().__init__(sim, name)
         self.delay = int(delay)
         sim._schedule_timeout(self, self.delay, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "ok" if self.triggered else "pending"
+        label = self.name or f"timeout({self.delay})"
+        return f"<{label} {state} @{id(self):#x}>"
 
 
 class _Condition(Event):

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.simkernel.errors import Interrupted, SimulationError
-from repro.simkernel.event import Event
+from repro.simkernel.event import _PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.scheduler import Simulator
@@ -56,15 +56,18 @@ class Process(Event):
     # -- driving -----------------------------------------------------------
 
     def _resume(self, ev: Event) -> None:
-        if self.triggered:  # interrupted-and-finished before callback ran
+        # interrupted-and-finished before callback ran? (inlined
+        # `self.triggered` / `ev._exc`: this runs once per process wakeup)
+        if self._value is not _PENDING or self._exc is not None:
             return
         if ev is not self._target:
             return  # stale wakeup after an interrupt re-targeted us
         self._target = None
-        if ev.exception is not None:
-            self._step(None, ev.exception)
+        exc = ev._exc
+        if exc is not None:
+            self._step(None, exc)
         else:
-            self._step(ev.value, None)
+            self._step(ev._value, None)
 
     def _step(self, value: object, exc: Optional[BaseException]) -> None:
         try:

@@ -31,6 +31,9 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # request() runs per BH packet / per core acquisition: precompute the
+        # event label instead of building an f-string on every call.
+        self._req_name = f"{name}.request" if name else "request"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
 
@@ -46,7 +49,7 @@ class Resource:
 
     def request(self) -> Event:
         """Ask for a slot; the returned event succeeds when granted."""
-        ev = Event(self.sim, f"{self.name}.request")
+        ev = Event(self.sim, self._req_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             ev.succeed(self)
@@ -86,6 +89,9 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # put()/get() run per packet: precompute the event labels.
+        self._put_name = f"{name}.put" if name else "put"
+        self._get_name = f"{name}.get" if name else "get"
         self._items: deque[object] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, object]] = deque()
@@ -100,7 +106,7 @@ class Store:
 
     def put(self, item: object) -> Event:
         """Queue ``item``; the returned event succeeds once it is stored."""
-        ev = Event(self.sim, f"{self.name}.put")
+        ev = Event(self.sim, self._put_name)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -124,7 +130,7 @@ class Store:
 
     def get(self) -> Event:
         """Dequeue the oldest item; the event succeeds with the item."""
-        ev = Event(self.sim, f"{self.name}.get")
+        ev = Event(self.sim, self._get_name)
         if self._items:
             item = self._items.popleft()
             ev.succeed(item)

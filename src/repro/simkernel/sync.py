@@ -25,13 +25,14 @@ class Signal:
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
+        self._wait_name = f"{name}.wait" if name else "wait"
         self._waiters: list[Event] = []
         #: number of fire() calls so far; handy for progress assertions
         self.fired_count = 0
 
     def wait(self) -> Event:
         """Return an event triggered by the next :meth:`fire`."""
-        ev = Event(self.sim, f"{self.name}.wait")
+        ev = Event(self.sim, self._wait_name)
         self._waiters.append(ev)
         return ev
 
@@ -50,6 +51,7 @@ class Gate:
     def __init__(self, sim: "Simulator", is_open: bool = True, name: str = ""):
         self.sim = sim
         self.name = name
+        self._gate_name = f"{name}.gate" if name else "gate"
         self._open = is_open
         self._waiters: list[Event] = []
 
@@ -59,7 +61,7 @@ class Gate:
 
     def wait(self) -> Event:
         """Event that succeeds immediately if open, else on next open."""
-        ev = Event(self.sim, f"{self.name}.gate")
+        ev = Event(self.sim, self._gate_name)
         if self._open:
             ev.succeed(None)
         else:
