@@ -61,6 +61,11 @@ def pytest_configure(config):
         "markers",
         "lint: static-analysis self-checks (tier-1: rule goldens + clean sweep)",
     )
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection campaign tests (repro.faults); "
+        "deselect with -m 'not faults'",
+    )
 
 
 @pytest.fixture

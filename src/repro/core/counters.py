@@ -33,6 +33,7 @@ def collect_counters(stack: "OmxStack") -> dict[str, int]:
     c["nic_tx_frames"] = host.nic.tx_frames
     c["nic_rx_frames"] = host.nic.rx_frames
     c["nic_rx_dropped"] = host.nic.rx_dropped
+    c["nic_rx_crc_errors"] = host.nic.rx_crc_errors
     c["softirq_packets"] = host.softirq.packets_handled
     c["softirq_batches"] = host.softirq.batches
 
@@ -50,7 +51,11 @@ def collect_counters(stack: "OmxStack") -> dict[str, int]:
     c["duplicates_filtered"] = sum(
         s.duplicates for s in driver._rx_sessions.values()
     )
+    c["reacks"] = sum(s.reacks for s in driver._rx_sessions.values())
+    c["dead_letters"] = driver.dead_letters
     c["pull_retransmits"] = sum(h.retransmits for h in driver._pulls.values())
+    c["pull_aborts"] = driver.pull_aborts
+    c["requests_failed"] = driver.requests_failed
 
     # offload (§III)
     c["offload_frags_dma"] = driver.offload.frags_offloaded
@@ -58,10 +63,12 @@ def collect_counters(stack: "OmxStack") -> dict[str, int]:
     c["offload_cleanups"] = driver.offload.cleanups
     c["offload_skbuffs_reaped"] = driver.offload.skbuffs_reaped
     c["offload_starvation_fallbacks"] = driver.offload.starvation_fallbacks
+    c["offload_fallback_copies"] = driver.offload.fallback_copies
 
     # engines
     c["ioat_bytes_copied"] = host.ioat_engine.bytes_copied
     c["ioat_descriptors"] = host.ioat_engine.descriptors_completed
+    c["ioat_descriptors_failed"] = host.ioat_engine.descriptors_failed
     c["cpu_bytes_copied"] = host.copier.bytes_copied
 
     # registration

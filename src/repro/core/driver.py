@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.core.errors import DeliveryFailed, PullAborted, RemoteAborted
 from repro.core.offload import OffloadManager
 from repro.core.pull import PullHandle
 from repro.core.reliability import RxSession, TxSession
@@ -84,6 +85,11 @@ class OmxDriver:
         self._ctl_queue: Store = Store(self.sim, name=f"omx{host.host_id}.ctl")
         self.sim.daemon(self._ctl_daemon(), name=f"omx{host.host_id}-ctl")
 
+        #: dead-lettered packets awaiting kernel-timer-context cleanup
+        #: (pin release needs a core, so it cannot run in the retx timer)
+        self._dead_queue: Store = Store(self.sim, name=f"omx{host.host_id}.dead")
+        self.sim.daemon(self._dead_daemon(), name=f"omx{host.host_id}-dead")
+
         host.softirq.register_handler(ETHERTYPE_MX, self._rx_callback)
 
         #: BH header-processing cost; reduced when the NIC uses Direct
@@ -98,6 +104,9 @@ class OmxDriver:
         self.eager_rx = 0
         self.pull_replies_rx = 0
         self.ring_drops = 0
+        self.dead_letters = 0
+        self.pull_aborts = 0
+        self.requests_failed = 0
 
     # ------------------------------------------------------------------
     # endpoint management
@@ -113,7 +122,8 @@ class OmxDriver:
         sess = self._tx_sessions.get(key)
         if sess is None:
             sess = TxSession(
-                self.sim, peer, self._queue_resend, self.config.retransmit_timeout
+                self.sim, peer, self._queue_resend, self.config.retransmit_timeout,
+                on_dead=self._on_dead_letter,
             )
             self._tx_sessions[key] = sess
         return sess
@@ -176,6 +186,57 @@ class OmxDriver:
                 core.res.release()
 
     # ------------------------------------------------------------------
+    # dead letters: the reliability layer gave up on a packet
+    # ------------------------------------------------------------------
+
+    def _on_dead_letter(self, pkt: MxPacket, err: DeliveryFailed) -> None:
+        """TX-session hook: a packet exhausted MAX_RETRIES.
+
+        Runs in the retx-timer daemon (no core held), so anything needing
+        driver/BH CPU — pin release for a dead rendezvous — is queued for
+        the dead-letter daemon.  Requests whose completion is watcher-based
+        (mediums) are failed directly by the session's watcher callbacks.
+        """
+        self.dead_letters += 1
+        if pkt.ptype in (PktType.RNDV, PktType.NACK):
+            self._dead_queue.put((pkt, err))
+        # NOTIFY dead-lettering has nothing to clean locally: the pull (and
+        # its request) completed before the notify was sent; the peer's
+        # sender request is failed by its own RNDV/pull machinery.
+
+    def _dead_daemon(self) -> Generator:
+        """Kernel-timer context: tear down state owned by dead packets."""
+        core = self.host.irq_core
+        while True:
+            pkt, err = yield self._dead_queue.get()
+            yield core.res.request()
+            try:
+                if pkt.ptype is PktType.RNDV:
+                    yield from self._fail_large_send(core, pkt.msg_id, err)
+            finally:
+                core.res.release()
+
+    def _fail_large_send(self, core: "Core", msg_id: int,
+                         err: Exception) -> Generator:
+        """Release a dead rendezvous' pins and fail its request loudly."""
+        state = self._large_sends.pop(msg_id, None)
+        if state is None:
+            return None
+        pins = state.pinned if isinstance(state.pinned, list) else [state.pinned]
+        for p in pins:
+            yield from self.host.regcache.release(core, p, "bh")
+        self._fail_request(state.endpoint, state.req, err)
+        return None
+
+    def _fail_request(self, ep: "OmxEndpoint", req: OmxRequest, err: Exception) -> None:
+        """Surface a typed error on ``req`` and complete it via the ring."""
+        if req is None or req.done or req.error is not None:
+            return
+        req.error = err
+        self.requests_failed += 1
+        ep.post_event(OmxEvent(EvType.FAILED, peer=req.peer, req=req))
+
+    # ------------------------------------------------------------------
     # syscall-context commands (caller does NOT hold the core)
     # ------------------------------------------------------------------
 
@@ -218,10 +279,13 @@ class OmxDriver:
                 # tiny/small are buffered by the stack: complete immediately
                 ep.post_event(OmxEvent(EvType.SEND_DONE, peer=req.peer, req=req))
             else:
-                # mediums reference user pages: complete on cumulative ack
+                # mediums reference user pages: complete on cumulative ack;
+                # a dead-lettered fragment fails the request instead of
+                # leaving the watcher armed (and the sender hung) forever
                 sess.watch_ack(
                     last_seq,
                     lambda: ep.post_event(OmxEvent(EvType.SEND_DONE, peer=req.peer, req=req)),
+                    on_fail=lambda err: self._fail_request(ep, req, err),
                 )
         finally:
             core.res.release()
@@ -347,6 +411,11 @@ class OmxDriver:
             handle.retransmits += 1
             yield core.res.request()
             try:
+                if handle.retransmits > self.config.pull_max_retries:
+                    # Give up loudly: abandoning silently would leave the
+                    # request hung and the §III-B resources stranded.
+                    yield from self._abort_pull(core, ep, handle)
+                    break
                 # §III-B: the cleanup routine also runs on the retransmission
                 # timeout path.
                 yield from self.offload.cleanup(core, handle.offload)
@@ -359,6 +428,30 @@ class OmxDriver:
                     yield from self._xmit_packet(core, pkt, "bh")
             finally:
                 core.res.release()
+        return None
+
+    def _abort_pull(self, core: "Core", ep: "OmxEndpoint", handle: PullHandle) -> Generator:
+        """Tear down a hopeless pull: drain offload state, free resources,
+        fail the request with :class:`PullAborted`, NACK the sender."""
+        self.pull_aborts += 1
+        yield from self.offload.cleanup(core, handle.offload)
+        if handle.offload.pending:
+            yield from self.offload.wait_all(core, handle.offload)
+        handle.done = True
+        self._pulls.pop(handle.id, None)
+        if handle.pinned is not None:
+            yield from self.host.regcache.release(core, handle.pinned, "bh")
+        self._fail_request(ep, handle.req, PullAborted(
+            handle.peer, handle.msg_id, handle.received, handle.total,
+            handle.retransmits,
+        ))
+        # Reliable NACK so the sender releases its pins and fails its
+        # request too, instead of waiting forever for a NOTIFY.
+        pkt = MxPacket(
+            ptype=PktType.NACK, src=ep.addr, dst=handle.peer, msg_id=handle.msg_id,
+        )
+        self._tx_session(ep.addr.endpoint, handle.peer).stamp(pkt)
+        yield from self._xmit_packet(core, pkt, "bh")
         return None
 
     def _finish_pull(self, core: "Core", ep: "OmxEndpoint", handle: PullHandle,
@@ -422,6 +515,13 @@ class OmxDriver:
         elif pkt.ptype is PktType.NOTIFY:
             if self._rx_session(ep.addr.endpoint, pkt.src).accept(pkt):
                 yield from self._bh_notify(core, ep, pkt)
+            skb.free()
+        elif pkt.ptype is PktType.NACK:
+            # Peer aborted its pull: release our pins, fail the send.
+            if self._rx_session(ep.addr.endpoint, pkt.src).accept(pkt):
+                yield from self._fail_large_send(
+                    core, pkt.msg_id, RemoteAborted(pkt.src, pkt.msg_id)
+                )
             skb.free()
         elif pkt.ptype is PktType.ACK:
             sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))

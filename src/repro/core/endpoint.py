@@ -216,7 +216,10 @@ class OmxEndpoint:
             yield from self._on_eager_frag(core, ev)
         elif ev.etype in (EvType.RNDV, EvType.RNDV_LOCAL):
             yield from self._on_rndv(core, ev, local=ev.etype is EvType.RNDV_LOCAL)
-        elif ev.etype in (EvType.SEND_DONE, EvType.RECV_LARGE_DONE):
+        elif ev.etype in (EvType.SEND_DONE, EvType.RECV_LARGE_DONE, EvType.FAILED):
+            # FAILED completes the request too: ``req.error`` carries the
+            # typed error; waiters return and must check it.  A silent
+            # never-completing request is indistinguishable from a hang.
             self._complete(ev.req)
         return None
 

@@ -1,0 +1,66 @@
+"""Typed transfer errors surfaced to the owning endpoint/request.
+
+Ethernet gives no delivery guarantee; the reliability layer and the pull
+watchdog retry for a while and then *must* give up.  Before this module
+existed, giving up was silent: packets beyond ``MAX_RETRIES`` were appended
+to ``TxSession.dead`` and forgotten, leaving ack-watchers armed forever and
+the sender request hung.  Every abandonment now surfaces as one of these
+typed errors on the request (``OmxRequest.error``), so callers — and the
+fault-injection campaigns in :mod:`repro.faults` — can distinguish "still in
+flight" from "failed loudly" from "hung" (the last being always a bug).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mx.wire import EndpointAddr, MxPacket
+
+
+class TransferError(Exception):
+    """Base class for errors that fail a user-visible transfer."""
+
+
+class DeliveryFailed(TransferError):
+    """The reliability layer gave up on a packet after ``MAX_RETRIES``.
+
+    Carries the peer and the packet that dead-lettered so diagnostics (and
+    the campaign reports) can say *which* hop of *which* message died.
+    """
+
+    def __init__(self, peer: "EndpointAddr", packet: Optional["MxPacket"] = None,
+                 retries: int = 0, detail: str = ""):
+        self.peer = peer
+        self.packet = packet
+        self.retries = retries
+        what = packet.ptype.name if packet is not None else "packet"
+        msg = f"delivery to {peer} failed: {what} dead-lettered after {retries} retries"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class PullAborted(TransferError):
+    """The receiver's pull watchdog gave up re-requesting stalled blocks."""
+
+    def __init__(self, peer: "EndpointAddr", msg_id: int, received: int,
+                 total: int, retransmits: int):
+        self.peer = peer
+        self.msg_id = msg_id
+        self.received = received
+        self.total = total
+        self.retransmits = retransmits
+        super().__init__(
+            f"pull of msg {msg_id} from {peer} aborted after "
+            f"{retransmits} watchdog re-requests ({received}/{total} bytes)"
+        )
+
+
+class RemoteAborted(TransferError):
+    """The peer NACKed: its half of the transfer failed and was torn down."""
+
+    def __init__(self, peer: "EndpointAddr", msg_id: int):
+        self.peer = peer
+        self.msg_id = msg_id
+        super().__init__(f"peer {peer} aborted transfer of msg {msg_id}")

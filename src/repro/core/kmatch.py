@@ -187,7 +187,10 @@ class KernelMatcher:
                 )
                 from repro.core.offload import PendingCopy
 
-                asm.offload.pending.append(PendingCopy(cookie, skb))
+                asm.offload.pending.append(
+                    PendingCopy(cookie, skb, 0, req.region,
+                                req.offset + pkt.offset, n)
+                )
                 asm.offload.offloaded_bytes += n
                 self.frags_offloaded += 1
                 offloaded = True

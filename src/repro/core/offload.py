@@ -36,10 +36,20 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class PendingCopy:
-    """One fragment awaiting asynchronous completion."""
+    """One fragment awaiting asynchronous completion.
+
+    The copy geometry is retained so that a channel failure can be healed:
+    if the engine aborted this copy, the reaper redoes it with memcpy
+    before freeing the skbuff (graceful degradation — the transfer still
+    completes, just without the offload win).
+    """
 
     cookie: DmaCookie
     skb: Skbuff
+    skb_off: int
+    dst: MemoryRegion
+    dst_off: int
+    length: int
 
 
 class MessageOffloadState:
@@ -68,6 +78,8 @@ class OffloadManager:
         self.cleanups = 0
         self.skbuffs_reaped = 0
         self.starvation_fallbacks = 0
+        #: copies redone on the CPU because the DMA channel aborted them
+        self.fallback_copies = 0
 
     # -- policy -------------------------------------------------------------
 
@@ -79,6 +91,9 @@ class OffloadManager:
     def should_offload(self, state: MessageOffloadState, msg_len: int, frag_len: int) -> bool:
         """The §IV-A thresholds."""
         if not self.config.ioat_enabled or self.config.ignore_bh_copy:
+            return False
+        if state.channel.failed:
+            # Dead channel: stop submitting to it, copy on the CPU instead.
             return False
         if msg_len < self.config.ioat_min_msg or frag_len < self.config.ioat_min_frag:
             return False
@@ -113,7 +128,9 @@ class OffloadManager:
                 core, skb.head, skb_off, dst, dst_off, length, "bh",
                 channel=state.channel,
             )
-            state.pending.append(PendingCopy(cookie, skb))
+            state.pending.append(
+                PendingCopy(cookie, skb, skb_off, dst, dst_off, length)
+            )
             state.offloaded_bytes += length
             self.frags_offloaded += 1
             return True
@@ -138,6 +155,7 @@ class OffloadManager:
         freed = 0
         while state.pending and state.pending[0].cookie.last_cookie <= done:
             entry = state.pending.popleft()
+            yield from self._heal_if_failed(core, state, entry)
             entry.skb.free()
             freed += 1
         self.skbuffs_reaped += freed
@@ -152,10 +170,25 @@ class OffloadManager:
         last = state.pending[-1].cookie
         yield from self.host.ioat.busy_wait(core, last, "bh")
         freed = 0
-        for entry in state.pending:
+        while state.pending:
+            entry = state.pending.popleft()
+            yield from self._heal_if_failed(core, state, entry)
             entry.skb.free()
             freed += 1
-        state.pending.clear()
         self.skbuffs_reaped += freed
         state.channel.reap()
         return freed
+
+    def _heal_if_failed(
+        self, core: "Core", state: MessageOffloadState, entry: PendingCopy
+    ) -> Generator:
+        """Redo an aborted DMA copy with memcpy (channel-failure fallback)."""
+        if not entry.cookie.failed:
+            return
+        yield from self.host.copier.memcpy(
+            core, entry.skb.head, entry.skb_off, entry.dst, entry.dst_off,
+            entry.length, "bh",
+        )
+        state.offloaded_bytes -= entry.length
+        state.copied_bytes += entry.length
+        self.fallback_copies += 1

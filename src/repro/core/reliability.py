@@ -11,10 +11,18 @@ Design (modelled on the real liback machinery):
   sequence number;
 * the receiver remembers recently-seen seqnums (dedup) and acknowledges
   cumulatively — piggybacked on any outbound packet to the same peer, with a
-  delayed explicit ACK as fallback;
+  delayed explicit ACK as fallback.  A **duplicate** arrival forces a re-ack
+  even when the cumulative value has not advanced: a duplicate means the
+  sender never saw our ack (it was lost), and without the re-ack it would
+  retransmit until ``MAX_RETRIES`` and dead-letter a delivered packet;
 * the sender keeps unacked packets (tiny/small keep their skbuff copy,
-  mediums re-reference user pages) and retransmits after
-  ``retransmit_timeout``.
+  mediums re-reference user pages) and retransmits ``retransmit_timeout``
+  after each (re)transmission — the timer tracks the earliest per-packet
+  deadline, so a packet stamped mid-interval is not retransmitted late;
+* a packet that exhausts ``MAX_RETRIES`` is **dead-lettered loudly**: its
+  ack-watchers' failure callbacks fire with a typed
+  :class:`~repro.core.errors.DeliveryFailed` and the session's ``on_dead``
+  hook tells the driver, which fails the owning request.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
+from repro.core.errors import DeliveryFailed
 from repro.mx.wire import EndpointAddr, MxPacket
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,7 +46,9 @@ DELAYED_ACK = 20_000  # 20 µs
 @dataclass
 class _Pending:
     packet: MxPacket
-    first_sent: int
+    #: time of the most recent (re)transmission — the retransmit deadline
+    #: for this packet is ``last_sent + timeout``
+    last_sent: int
     retries: int = 0
 
 
@@ -45,18 +56,25 @@ class TxSession:
     """Sender half: assigns seqnums, holds packets until acked."""
 
     def __init__(self, sim: "Simulator", peer: EndpointAddr,
-                 resend: Callable[[MxPacket], None], timeout: int):
+                 resend: Callable[[MxPacket], None], timeout: int,
+                 on_dead: Optional[Callable[[MxPacket, DeliveryFailed], None]] = None):
         self.sim = sim
         self.peer = peer
         self.resend = resend
         self.timeout = timeout
+        #: driver hook fired once per dead-lettered packet (typed failure)
+        self.on_dead = on_dead
         self.next_seq = 0
         self.pending: dict[int, _Pending] = {}
         self._timer_running = False
         self.retransmissions = 0
         self.dead: list[MxPacket] = []
-        #: callbacks fired when a given seqnum is acked
-        self._ack_watchers: dict[int, list[Callable[[], None]]] = {}
+        self.dead_letters = 0
+        #: (on_ack, on_fail) callback pairs fired when a seqnum resolves
+        self._ack_watchers: dict[
+            int, list[tuple[Callable[[], None],
+                            Optional[Callable[[DeliveryFailed], None]]]]
+        ] = {}
 
     def stamp(self, pkt: MxPacket) -> int:
         """Assign the next seqnum and track the packet until acked."""
@@ -70,15 +88,28 @@ class TxSession:
         """Cumulative ack: everything <= ack_seqnum is delivered."""
         for seq in [s for s in self.pending if s <= ack_seqnum]:
             del self.pending[seq]
-            for cb in self._ack_watchers.pop(seq, ()):
+            for cb, _fail in self._ack_watchers.pop(seq, ()):
                 cb()
 
-    def watch_ack(self, seqnum: int, cb: Callable[[], None]) -> None:
-        """Run ``cb`` once ``seqnum`` is acked (fires immediately if gone)."""
+    def watch_ack(self, seqnum: int, cb: Callable[[], None],
+                  on_fail: Optional[Callable[[DeliveryFailed], None]] = None) -> None:
+        """Run ``cb`` once ``seqnum`` is acked (fires immediately if gone).
+
+        ``on_fail`` (if given) runs instead when the packet dead-letters, so
+        the watcher cannot stay armed forever on a lossy wire.
+        """
         if seqnum not in self.pending:
             cb()
         else:
-            self._ack_watchers.setdefault(seqnum, []).append(cb)
+            self._ack_watchers.setdefault(seqnum, []).append((cb, on_fail))
+
+    def collect_counters(self) -> dict[str, int]:
+        """Per-session reliability counters (``omx_counters`` analogue)."""
+        return {
+            "retransmissions": self.retransmissions,
+            "dead_letters": self.dead_letters,
+            "pending": len(self.pending),
+        }
 
     def _arm_timer(self) -> None:
         if self._timer_running:
@@ -88,21 +119,38 @@ class TxSession:
 
     def _timer(self) -> Generator:
         while self.pending:
-            yield self.sim.timeout(self.timeout)
             now = self.sim.now
+            deadline = min(e.last_sent for e in self.pending.values()) + self.timeout
+            if deadline > now:
+                # Sleep to the *earliest* per-packet deadline.  The old
+                # fixed-period sleep retransmitted a packet stamped
+                # mid-interval up to 2x the timeout late.
+                yield self.sim.timeout(deadline - now)
+                continue  # acks may have landed while sleeping: re-evaluate
             for seq in sorted(self.pending):
-                entry = self.pending[seq]
-                if now - entry.first_sent < self.timeout:
+                entry = self.pending.get(seq)
+                if entry is None or now - entry.last_sent < self.timeout:
                     continue
                 if entry.retries >= MAX_RETRIES:
-                    self.dead.append(entry.packet)
-                    del self.pending[seq]
+                    self._dead_letter(seq, entry)
                     continue
                 entry.retries += 1
-                entry.first_sent = now
+                entry.last_sent = now
                 self.retransmissions += 1
                 self.resend(entry.packet)
         self._timer_running = False
+
+    def _dead_letter(self, seq: int, entry: _Pending) -> None:
+        """Give up on one packet — loudly (typed error, watchers fail)."""
+        del self.pending[seq]
+        self.dead.append(entry.packet)
+        self.dead_letters += 1
+        err = DeliveryFailed(self.peer, entry.packet, retries=entry.retries)
+        for _cb, on_fail in self._ack_watchers.pop(seq, ()):
+            if on_fail is not None:
+                on_fail(err)
+        if self.on_dead is not None:
+            self.on_dead(entry.packet, err)
 
 
 class RxSession:
@@ -124,7 +172,12 @@ class RxSession:
         self.cumulative = -1
         self._ack_scheduled = False
         self._acked_up_to = -1
+        #: duplicates seen since the last ack actually went out; a truthy
+        #: value forces the delayed ack even if ``cumulative`` is unchanged
+        self._dup_since_ack = False
         self.duplicates = 0
+        #: delayed acks whose only purpose was re-acking a duplicate
+        self.reacks = 0
 
     def accept(self, pkt: MxPacket) -> bool:
         """True if this packet is new (deliver it); False for duplicates."""
@@ -133,6 +186,7 @@ class RxSession:
             return True  # unsequenced packet (pull traffic)
         if seq <= self.cumulative or seq in self._seen:
             self.duplicates += 1
+            self._dup_since_ack = True
             self._schedule_ack()  # re-ack so the sender stops resending
             return False
         self._seen.add(seq)
@@ -145,7 +199,16 @@ class RxSession:
     def piggyback(self) -> int:
         """Cumulative ack value to embed in an outbound packet."""
         self._acked_up_to = self.cumulative
+        self._dup_since_ack = False
         return self.cumulative
+
+    def collect_counters(self) -> dict[str, int]:
+        """Per-session reliability counters (``omx_counters`` analogue)."""
+        return {
+            "duplicates": self.duplicates,
+            "reacks": self.reacks,
+            "cumulative": self.cumulative,
+        }
 
     def _schedule_ack(self) -> None:
         if self._ack_scheduled:
@@ -155,8 +218,14 @@ class RxSession:
         def delayed() -> Generator:
             yield self.sim.timeout(DELAYED_ACK)
             self._ack_scheduled = False
-            if self.cumulative > self._acked_up_to:
+            if self.cumulative > self._acked_up_to or self._dup_since_ack:
+                # The duplicate case is the lost-ACK recovery path: without
+                # it the sender livelocks into retransmitting a delivered
+                # packet until MAX_RETRIES kills it.
+                if self.cumulative <= self._acked_up_to:
+                    self.reacks += 1
                 self._acked_up_to = self.cumulative
+                self._dup_since_ack = False
                 self.send_ack(self.owner, self.peer, self.cumulative)
 
         self.sim.daemon(delayed(), name=f"delack-{self.peer}")

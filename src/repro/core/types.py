@@ -31,6 +31,9 @@ class EvType(IntEnum):
     SEND_DONE = auto()
     #: a local (intra-node) rendezvous from a same-host sender
     RNDV_LOCAL = auto()
+    #: a request failed with a typed error (``req.error`` is set) — posted
+    #: when the reliability layer dead-letters or a pull is aborted
+    FAILED = auto()
 
 
 @dataclass
@@ -67,6 +70,9 @@ class OmxRequest:
     completion: object = None  # Event, filled in by the endpoint
     xfer_length: int = 0
     msg_id: int = -1
+    #: typed failure (:class:`repro.core.errors.TransferError`); set before
+    #: the completion event triggers when the stack gives up on the transfer
+    error: Optional[BaseException] = None
     #: driver-side pinned region(s) (large messages), for release at completion
     pinned: object = None
     #: vectored sends: list of (region, offset, length) segments; when set,
@@ -78,6 +84,11 @@ class OmxRequest:
     @property
     def done(self) -> bool:
         return self.completion is not None and self.completion.triggered
+
+    @property
+    def failed(self) -> bool:
+        """True when the stack gave up on this transfer (typed ``error``)."""
+        return self.error is not None
 
     def iter_pieces(self, start: int, length: int, max_piece: int):
         """Walk ``[start, start+length)`` of the message payload, yielding

@@ -32,6 +32,9 @@ class EthernetFrame:
     payload_len: int
     #: assigned by the link at serialization time (diagnostics)
     sent_at: Optional[int] = field(default=None, compare=False)
+    #: set by fault injection: the frame's FCS is bad and the receiving NIC
+    #: will drop it (counted as a CRC error, like real hardware)
+    corrupted: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_len < 0:

@@ -5,11 +5,19 @@ then delivers after a propagation delay.  A :class:`LossInjector` can drop
 selected frames — used by the tests that exercise the pull protocol's
 retransmission path (§III-B: the cleanup routine "is also invoked when the
 retransmission timeout expires in case of packet loss").
+
+Beyond plain loss, a direction can carry a *frame fault hook* (see
+:meth:`Link.inject_fault`): a per-frame verdict deciding drop, duplication,
+reordering (extra delivery delay) and corruption (bad FCS, dropped by the
+receiving NIC).  :mod:`repro.faults` builds seeded, schedule-driven plans on
+top of this hook; the hook itself is deliberately dumb and deterministic —
+it is consulted once per serialized frame, in wire order.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Protocol
 
 from repro.ethernet.frame import EthernetFrame
 from repro.simkernel.event import Event
@@ -18,6 +26,33 @@ from repro.units import SEC
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ethernet.nic import Nic
     from repro.simkernel.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class FrameVerdict:
+    """What fault injection decided for one serialized frame."""
+
+    #: deliver the frame at all (False == dropped on the wire)
+    deliver: bool = True
+    #: extra delivery delay in ticks (reordering: the frame arrives after
+    #: frames serialized later)
+    delay: int = 0
+    #: additional deliveries of the same frame (duplication)
+    duplicates: int = 0
+    #: mark the frame's FCS bad; the receiving NIC drops it as a CRC error
+    corrupt: bool = False
+
+
+#: the no-fault verdict, shared (hooks return it for untouched frames)
+DELIVER = FrameVerdict()
+
+
+class FrameFaultHook(Protocol):
+    """Per-frame fault decision, consulted in serialization order."""
+
+    def on_frame(self, frame: EthernetFrame, index: int, now: int) -> FrameVerdict:
+        """Verdict for the ``index``-th frame of this direction at ``now``."""
+        ...  # pragma: no cover
 
 
 class LossInjector:
@@ -65,6 +100,8 @@ class _Direction:
         self._tx_free_at = 0
         self.sink: Optional["Nic"] = None
         self.loss: Optional[LossInjector] = None
+        #: generalized fault hook (drop/duplicate/reorder/corrupt)
+        self.fault: Optional[FrameFaultHook] = None
         self.frames_sent = 0
         self.bytes_sent = 0
 
@@ -89,10 +126,21 @@ class _Direction:
             delivered = not (
                 self.loss is not None and self.loss.should_drop(frame, index)
             )
+            extra_delay = 0
+            copies = 1
+            if delivered and self.fault is not None:
+                verdict = self.fault.on_frame(frame, index, sim.now)
+                delivered = verdict.deliver
+                extra_delay = verdict.delay
+                copies = 1 + verdict.duplicates
+                if verdict.corrupt:
+                    frame.corrupted = True
             if delivered:
                 sink = self.sink
                 if sink is not None:
-                    sim.call_at(sim.now + self.delay, lambda: sink.on_frame(frame))
+                    arrive = sim.now + self.delay + extra_delay
+                    for _ in range(copies):
+                        sim.call_at(arrive, lambda: sink.on_frame(frame))
             if on_serialized is not None:
                 on_serialized(delivered)
 
@@ -129,6 +177,14 @@ class Link:
     def inject_loss(self, direction_a2b: bool, injector: LossInjector) -> None:
         """Arm fault injection on one direction."""
         (self.a_to_b if direction_a2b else self.b_to_a).loss = injector
+
+    def inject_fault(self, direction_a2b: bool, hook: FrameFaultHook) -> None:
+        """Arm a generalized frame-fault hook on one direction.
+
+        Composes with :meth:`inject_loss`: the loss injector is consulted
+        first, the hook only sees frames the injector delivered.
+        """
+        (self.a_to_b if direction_a2b else self.b_to_a).fault = hook
 
     def rate_mib_s(self) -> float:
         """Link bandwidth in MiB/s (convenience for reports)."""

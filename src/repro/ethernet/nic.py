@@ -58,10 +58,14 @@ class Nic:
         self.frame_sink: Optional[Callable[[EthernetFrame], None]] = None
         #: pre-posted receive buffers (FIFO: NIC consumes in post order)
         self._rx_ring: deque[Skbuff] = deque()
+        #: fault hook: when set and ``blocks(now)`` is true, incoming frames
+        #: are dropped as if the rx ring were exhausted (refill starvation)
+        self.rx_fault = None
         # statistics
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
+        self.rx_crc_errors = 0
         self._fill_ring()
 
     # -- receive ----------------------------------------------------------
@@ -76,10 +80,16 @@ class Nic:
 
     def on_frame(self, frame: EthernetFrame) -> None:
         """Link delivery: DMA the frame into the next posted skbuff."""
+        if frame.corrupted:
+            # Bad FCS: real NICs drop these in hardware, before any DMA.
+            self.rx_crc_errors += 1
+            return
         if self.frame_sink is not None:
             self.frame_sink(frame)
             return
-        if not self._rx_ring:
+        if not self._rx_ring or (
+            self.rx_fault is not None and self.rx_fault.blocks(self.sim.now)
+        ):
             self.rx_dropped += 1
             return
         skb = self._rx_ring.popleft()

@@ -54,6 +54,9 @@ class EthernetSwitch:
         ]
         for i in range(n_ports):
             sim.daemon(self._egress_daemon(i), name=f"switch-eg{i}")
+        #: fault hook: ``drop_egress(port, frame, now)`` forces a tail drop
+        #: on the named egress port, as if its queue had overflowed
+        self.fault = None
         # statistics
         self.forwarded = 0
         self.dropped = 0
@@ -85,6 +88,11 @@ class EthernetSwitch:
         else:
             targets = [out]
         for port in targets:
+            if self.fault is not None and self.fault.drop_egress(
+                port, frame, self.sim.now
+            ):
+                self.dropped += 1
+                continue
             if not self._egress_q[port].try_put(frame):
                 self.dropped += 1
 

@@ -1,0 +1,202 @@
+"""Bridges from declarative fault specs to the layers' runtime hooks.
+
+Arming a plan against a testbed instantiates one injector per spec and
+wires it into the corresponding hook:
+
+* :class:`RandomFrameFaults` implements the link layer's
+  :class:`~repro.ethernet.link.FrameFaultHook` with one seeded draw per
+  serialized frame;
+* :class:`WindowGate` answers ``blocks(now)`` for NIC rx-ring windows;
+* :class:`SwitchEgressFault` answers ``drop_egress(port, frame, now)``;
+* I/OAT faults are scheduled as bare simulator callbacks that call
+  :meth:`~repro.ioat.channel.DmaChannel.fail` /
+  :meth:`~repro.ioat.channel.DmaChannel.stall` at their trigger time.
+
+Every injector counts what it actually did, and :class:`ArmedPlan`
+aggregates those counts into the campaign report's "injected" section —
+so a cell whose plan never fired (windows past the run, rates too low) is
+visible instead of silently reading as "survived everything".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.ethernet.link import DELIVER, FrameVerdict
+from repro.faults.plan import FaultPlan, LinkFaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.testbed import Testbed
+    from repro.ethernet.frame import EthernetFrame
+
+
+class RandomFrameFaults:
+    """Seeded per-frame fault decisions for one link direction.
+
+    Exactly one RNG draw per in-window frame keeps the schedule a pure
+    function of (seed, frame index): adding a second spec or re-running
+    the cell cannot shift which frames are hit.
+    """
+
+    def __init__(self, spec: LinkFaultSpec, seed: str):
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.drops = 0
+        self.dups = 0
+        self.corrupts = 0
+        self.reorders = 0
+
+    def on_frame(self, frame: "EthernetFrame", index: int, now: int) -> FrameVerdict:
+        spec = self.spec
+        if index < spec.first_index:
+            return DELIVER
+        if spec.last_index is not None and index > spec.last_index:
+            return DELIVER
+        r = self.rng.random()
+        edge = spec.drop_rate
+        if r < edge:
+            self.drops += 1
+            return FrameVerdict(deliver=False)
+        edge += spec.dup_rate
+        if r < edge:
+            self.dups += 1
+            return FrameVerdict(duplicates=1)
+        edge += spec.corrupt_rate
+        if r < edge:
+            self.corrupts += 1
+            return FrameVerdict(corrupt=True)
+        edge += spec.reorder_rate
+        if r < edge:
+            self.reorders += 1
+            return FrameVerdict(delay=spec.reorder_delay)
+        return DELIVER
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "frame_drops": self.drops,
+            "frame_dups": self.dups,
+            "frame_corrupts": self.corrupts,
+            "frame_reorders": self.reorders,
+        }
+
+
+class WindowGate:
+    """True inside any of a set of half-open (start, stop) tick windows."""
+
+    def __init__(self, windows):
+        self.windows = tuple(tuple(w) for w in windows)
+        self.hits = 0
+
+    def blocks(self, now: int) -> bool:
+        for start, stop in self.windows:
+            if start <= now < stop:
+                self.hits += 1
+                return True
+        return False
+
+
+class SwitchEgressFault:
+    """Per-port egress overflow windows for one switch."""
+
+    def __init__(self, gates: dict[int, WindowGate]):
+        self._gates = gates
+
+    def drop_egress(self, port: int, frame: "EthernetFrame", now: int) -> bool:
+        gate = self._gates.get(port)
+        return gate is not None and gate.blocks(now)
+
+    @property
+    def hits(self) -> int:
+        return sum(g.hits for g in self._gates.values())
+
+
+class ArmedPlan:
+    """A plan wired into one live testbed; aggregates injected-fault counts."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.frame_hooks: list[RandomFrameFaults] = []
+        self.nic_gates: list[WindowGate] = []
+        self.switch_fault: Optional[SwitchEgressFault] = None
+        self.ioat_armed = 0
+
+    def counters(self) -> dict[str, int]:
+        c = {
+            "frame_drops": 0,
+            "frame_dups": 0,
+            "frame_corrupts": 0,
+            "frame_reorders": 0,
+        }
+        for hook in self.frame_hooks:
+            for key, val in hook.counters().items():
+                c[key] += val
+        c["nic_window_drops"] = sum(g.hits for g in self.nic_gates)
+        c["switch_window_drops"] = (
+            self.switch_fault.hits if self.switch_fault is not None else 0
+        )
+        c["ioat_faults_armed"] = self.ioat_armed
+        return c
+
+
+def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
+    """Wire ``plan`` into ``tb``; returns the armed view for reporting.
+
+    Works on both testbed shapes: back-to-back (``tb.link``) and switched
+    (``tb.switch`` with per-port links).  Specs that reference hardware
+    the testbed lacks (a switch port on a switchless testbed) raise —
+    a plan silently not applying would invalidate the whole cell.
+    """
+    armed = ArmedPlan(plan)
+    switch = getattr(tb, "switch", None)
+
+    for i, spec in enumerate(plan.links):
+        if tb.link is not None:
+            links = [(tb.link, "")]
+        elif switch is None:
+            raise ValueError("link fault on a testbed with no link or switch")
+        elif spec.port is not None:
+            links = [(switch.links[spec.port], f":p{spec.port}")]
+        else:
+            # Portless spec on a switched fabric: every cable misbehaves,
+            # each with its own RNG stream so per-link schedules stay a
+            # pure function of (seed, frame index).
+            links = [
+                (link, f":p{p}")
+                for p, link in enumerate(switch.links) if link is not None
+            ]
+        for link, tag in links:
+            hook = RandomFrameFaults(
+                spec, f"{plan.seed}:{plan.name}:link{i}{tag}"
+            )
+            link.inject_fault(spec.direction_a2b, hook)
+            armed.frame_hooks.append(hook)
+
+    for spec in plan.nics:
+        gate = WindowGate(spec.windows)
+        tb.hosts[spec.node].nic.rx_fault = gate
+        armed.nic_gates.append(gate)
+
+    if plan.switches:
+        if switch is None:
+            raise ValueError("switch fault plan on a switchless testbed")
+        switch.fault = SwitchEgressFault(
+            {spec.port: WindowGate(spec.windows) for spec in plan.switches}
+        )
+        armed.switch_fault = switch.fault
+
+    for spec in plan.ioat:
+        engine = tb.hosts[spec.node].ioat_engine
+        channels = (
+            engine.channels if spec.channel is None else [engine[spec.channel]]
+        )
+        for ch in channels:
+            if spec.action == "fail":
+                tb.sim.call_at(spec.at, ch.fail)
+            else:
+                duration = spec.duration
+                tb.sim.call_at(
+                    spec.at, lambda c=ch, d=duration: c.stall(d)
+                )
+            armed.ioat_armed += 1
+    return armed

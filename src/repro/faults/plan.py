@@ -1,0 +1,179 @@
+"""Fault plans: declarative, JSON-serializable, seeded fault schedules.
+
+A :class:`FaultPlan` is pure data — which layers misbehave, how much, and
+when — with no reference to any live testbed.  That keeps plans cacheable
+by the sweep executor (they round-trip through JSON) and makes a campaign
+cell's identity fully describable by ``(workload, size, plan, seed)``.
+
+Determinism: probabilistic specs (frame loss etc.) draw from a
+``random.Random`` seeded with a *string* derived from the plan seed and the
+spec's position.  CPython seeds string inputs through SHA-512, so the
+schedule is identical across platforms and runs — the property the
+campaign's bit-identical-report check rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.units import KiB, us
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Per-frame randomized faults on one link direction.
+
+    Rates are independent probabilities folded into a single draw per
+    frame (at most one fault per frame, drop winning over duplicate over
+    corrupt over reorder).  ``first_index``/``last_index`` bound the
+    attack window in serialized-frame indices; ``port`` selects the
+    switch-port link on switched testbeds (ignored back-to-back).
+    """
+
+    direction_a2b: bool = True
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: extra delivery delay for reordered frames (ticks)
+    reorder_delay: int = us(30)
+    first_index: int = 0
+    last_index: Optional[int] = None
+    port: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NicFaultSpec:
+    """Receive-ring exhaustion: drop all rx frames inside the windows."""
+
+    node: int
+    #: (start, stop) tick windows, half-open
+    windows: tuple = ()
+
+
+@dataclass(frozen=True)
+class SwitchFaultSpec:
+    """Egress-queue overflow: tail-drop on one port inside the windows."""
+
+    port: int
+    windows: tuple = ()
+
+
+@dataclass(frozen=True)
+class IoatFaultSpec:
+    """I/OAT channel fault: hard failure or transient stall at time ``at``.
+
+    ``channel=None`` hits every channel of the node's engine — the
+    whole-chipset failure the memcpy-fallback path must survive.
+    """
+
+    node: int
+    action: str = "fail"  # "fail" | "stall"
+    at: int = us(100)
+    #: stall duration (ticks); ignored for "fail"
+    duration: int = us(200)
+    channel: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "stall"):
+            raise ValueError(f"unknown ioat fault action {self.action!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One named, seeded composition of fault specs across the layers."""
+
+    name: str
+    seed: str = "0"
+    links: tuple = ()
+    nics: tuple = ()
+    switches: tuple = ()
+    ioat: tuple = ()
+
+    # -- JSON round-trip -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        for key in ("links", "nics", "switches", "ioat"):
+            d[key] = list(d[key])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        def tup(spec_cls, entries):
+            out = []
+            for e in entries:
+                e = dict(e)
+                if "windows" in e:
+                    e["windows"] = tuple(tuple(w) for w in e["windows"])
+                out.append(spec_cls(**e))
+            return tuple(out)
+
+        return cls(
+            name=d["name"],
+            seed=d.get("seed", "0"),
+            links=tup(LinkFaultSpec, d.get("links", ())),
+            nics=tup(NicFaultSpec, d.get("nics", ())),
+            switches=tup(SwitchFaultSpec, d.get("switches", ())),
+            ioat=tup(IoatFaultSpec, d.get("ioat", ())),
+        )
+
+
+def standard_plans(seed: str = "campaign") -> list[FaultPlan]:
+    """The stock plan library the quick campaign sweeps.
+
+    Each plan targets one failure mode the reliability layer claims to
+    survive; "clean" is the control cell the others are compared against.
+    """
+    return [
+        FaultPlan(name="clean", seed=seed),
+        # Data-direction loss: retransmission must recover both eager
+        # fragments and pull replies.
+        FaultPlan(
+            name="lossy-data", seed=seed,
+            links=(LinkFaultSpec(direction_a2b=True, drop_rate=0.05),),
+        ),
+        # ACK-direction loss: exercises the duplicate-arrival re-ack path
+        # (a lost ACK must not livelock the sender into dead-lettering).
+        FaultPlan(
+            name="lossy-acks", seed=seed,
+            links=(LinkFaultSpec(direction_a2b=False, drop_rate=0.10),),
+        ),
+        # Duplication + reordering + the odd bad FCS, both directions.
+        FaultPlan(
+            name="dup-reorder", seed=seed,
+            links=(
+                LinkFaultSpec(direction_a2b=True, dup_rate=0.04,
+                              reorder_rate=0.06, corrupt_rate=0.02),
+                LinkFaultSpec(direction_a2b=False, dup_rate=0.04,
+                              reorder_rate=0.06),
+            ),
+        ),
+        # Receiver NIC rx-ring exhaustion: two starvation windows.
+        FaultPlan(
+            name="rx-ring-stall", seed=seed,
+            nics=(NicFaultSpec(
+                node=1,
+                windows=((us(60), us(140)), (us(400), us(480))),
+            ),),
+        ),
+        # I/OAT chipset failure mid-run on the receiver: the offload path
+        # must degrade to memcpy and still complete every transfer.
+        FaultPlan(
+            name="ioat-fail", seed=seed,
+            ioat=(IoatFaultSpec(node=1, action="fail", at=us(80)),),
+        ),
+        # Transient channel stall: completion merely arrives late.
+        FaultPlan(
+            name="ioat-stall", seed=seed,
+            ioat=(IoatFaultSpec(node=1, action="stall", at=us(60),
+                                duration=us(300)),),
+        ),
+    ]
+
+
+#: message sizes the quick campaign crosses with the plans: small eager,
+#: multi-fragment medium, just-over-rendezvous, and a pull big enough to
+#: keep several blocks in flight
+QUICK_SIZES = (1 * KiB, 16 * KiB, 48 * KiB, 256 * KiB)

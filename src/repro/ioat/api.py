@@ -40,6 +40,16 @@ class DmaCookie:
     def done(self) -> bool:
         return self.channel.is_complete(self.last_cookie)
 
+    @property
+    def failed(self) -> bool:
+        """True if the channel aborted any descriptor of this copy.
+
+        Failed copies still report :attr:`done` (the status poll advances
+        past aborted descriptors) — callers that care about the data must
+        check this and redo the copy with memcpy.
+        """
+        return self.channel.copy_failed(self.last_cookie, self.n_descriptors)
+
 
 class IoatDmaApi:
     """Submission/polling facade over the engine."""

@@ -51,10 +51,22 @@ class DmaChannel:
         #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
         #: set, it is notified of submissions and completion polls
         self.observer = None
+        #: hard failure: the channel aborts all work (see :meth:`fail`)
+        self.failed = False
+        self.fail_detail = ""
+        #: engine stalled (holds off *starting* new descriptors) until this
+        #: absolute time; in-flight descriptors still finish
+        self._stalled_until = 0
+        self._stall_wake_pending = False
+        #: cookies of descriptors aborted by :meth:`fail` — status polls see
+        #: them as complete, :meth:`copy_failed` reports the error
+        self._aborted_cookies: set[int] = set()
         # statistics
         self.descriptors_completed = 0
+        self.descriptors_failed = 0
         self.bytes_copied = 0
         self.busy_ticks = 0
+        self.stalls = 0
 
     # -- host-side API -----------------------------------------------------
 
@@ -68,6 +80,12 @@ class DmaChannel:
         cookie = self.ring.push(desc)
         if self.observer is not None:
             self.observer.on_dma_submit(self, cookie, desc)
+        if self.failed:
+            # Dead channel: the descriptor "completes" immediately with an
+            # error so pollers observe it instead of hanging forever.
+            self._abort_desc(desc)
+            self._completion.fire(cookie)
+            return cookie
         self._work.fire()
         if not self._busy:
             self._service_next()
@@ -97,6 +115,54 @@ class DmaChannel:
     def queue_depth(self) -> int:
         return len(self.ring)
 
+    def copy_failed(self, last_cookie: int, n_descriptors: int) -> bool:
+        """Did any descriptor of a copy ending at ``last_cookie`` abort?"""
+        if not self._aborted_cookies:
+            return False
+        first = last_cookie - n_descriptors + 1
+        return any(
+            c in self._aborted_cookies for c in range(first, last_cookie + 1)
+        )
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail(self, detail: str = "ioat channel failure") -> None:
+        """Hard-fail the channel: abort all pending work, refuse new work.
+
+        Aborted descriptors move no data but are marked completed so the
+        in-order status poll advances past them — waiters wake up and must
+        check :meth:`copy_failed` instead of spinning forever.  The host
+        falls back to memcpy (see ``core/offload.py``).
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.fail_detail = detail
+        aborted = self.ring.pending()
+        for desc in aborted:
+            self._abort_desc(desc)
+        self._busy = False
+        if aborted:
+            self._completion.fire(aborted[-1].cookie)
+
+    def stall(self, duration: int) -> None:
+        """Freeze descriptor issue for ``duration`` ticks.
+
+        The in-flight descriptor (if any) still finishes; queued ones wait.
+        Models a transiently hogged channel, not a dead one — work resumes
+        by itself and no error surfaces.
+        """
+        until = self.sim.now + duration
+        if until > self._stalled_until:
+            self._stalled_until = until
+        self.stalls += 1
+
+    def _abort_desc(self, desc: CopyDescriptor) -> None:
+        desc.failed = True
+        desc.completed_at = self.sim.now
+        self._aborted_cookies.add(desc.cookie)
+        self.descriptors_failed += 1
+
     # -- engine ------------------------------------------------------------
 
     def service_time(self, length: int) -> int:
@@ -115,6 +181,17 @@ class DmaChannel:
         but an order of magnitude fewer host-side allocations on the
         fig. 11 pull path, which retires one descriptor per 4 KiB chunk.
         """
+        if self.failed:
+            self._busy = False
+            return
+        if self.sim.now < self._stalled_until:
+            # Hold the engine "busy" so submits don't re-enter; one wakeup
+            # callback resumes service when the stall window closes.
+            self._busy = True
+            if not self._stall_wake_pending:
+                self._stall_wake_pending = True
+                self.sim.call_at(self._stalled_until, self._stall_wake)
+            return
         desc = self.ring.oldest_pending()
         if desc is None:
             self._busy = False
@@ -124,7 +201,14 @@ class DmaChannel:
         start = self.sim.now
         self.sim.call_at(start + t, lambda: self._finish(desc, t, start))
 
+    def _stall_wake(self) -> None:
+        self._stall_wake_pending = False
+        self._busy = False
+        self._service_next()
+
     def _finish(self, desc: CopyDescriptor, t: int, start: int) -> None:
+        if desc.failed:
+            return  # aborted by fail() while in flight; already accounted
         self.busy_ticks += t
         if self.trace is not None and self.trace.enabled:
             self.trace.record(f"I/OAT ch{self.index}", f"Copy#{desc.cookie}",

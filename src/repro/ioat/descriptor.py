@@ -30,6 +30,9 @@ class CopyDescriptor:
     cookie: int = -1
     #: simulation time when the engine finished this descriptor
     completed_at: Optional[int] = None
+    #: set when the channel aborted this descriptor (no data was moved);
+    #: such descriptors still "complete" so status polls observe them
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.length <= 0:
@@ -84,6 +87,10 @@ class DescriptorRing:
         while pend and pend[0].done:
             pend.popleft()
         return pend[0] if pend else None
+
+    def pending(self) -> list[CopyDescriptor]:
+        """All not-yet-completed descriptors, in submission order."""
+        return [d for d in self._ring if not d.done]
 
     def reap_completed(self) -> list[CopyDescriptor]:
         """Pop-and-return the completed prefix of the ring."""

@@ -63,3 +63,11 @@ class IoatEngine:
     @property
     def busy_ticks(self) -> int:
         return sum(c.busy_ticks for c in self.channels)
+
+    @property
+    def descriptors_failed(self) -> int:
+        return sum(c.descriptors_failed for c in self.channels)
+
+    @property
+    def stalls(self) -> int:
+        return sum(c.stalls for c in self.channels)

@@ -212,6 +212,11 @@ class OmxConfig:
     pull_outstanding_blocks: int = 2
     #: retransmission timeout for lost pull replies
     retransmit_timeout: int = us(500)
+    #: watchdog re-requests without progress before a pull is aborted with a
+    #: typed :class:`~repro.core.errors.PullAborted` (the real stack also
+    #: kills connections after a bounded retry budget); generous enough that
+    #: bounded fault windows never trip it
+    pull_max_retries: int = 32
 
     # -- I/OAT offload (§III-A, §IV-A thresholds) --
     #: master switch for the copy-offload path

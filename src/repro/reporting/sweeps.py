@@ -184,10 +184,32 @@ POINT_KINDS: dict[str, Callable] = {
     "nas_is": point_nas_is,
 }
 
+#: kinds resolved on first use ("module:function") — packages that import
+#: this module can still contribute point kinds without an import cycle
+#: (repro.faults.campaign imports SweepExecutor from here)
+LAZY_POINT_KINDS: dict[str, str] = {
+    "fault_cell": "repro.faults.campaign:point_fault_cell",
+}
+
+
+def resolve_kind(kind: str) -> Callable:
+    """The point function for ``kind``, importing lazy kinds on demand."""
+    fn = POINT_KINDS.get(kind)
+    if fn is None:
+        target = LAZY_POINT_KINDS.get(kind)
+        if target is None:
+            raise KeyError(f"unknown sweep point kind {kind!r}")
+        import importlib
+
+        mod, _, attr = target.partition(":")
+        fn = getattr(importlib.import_module(mod), attr)
+        POINT_KINDS[kind] = fn
+    return fn
+
 
 def point(kind: str, **params) -> tuple[str, dict]:
     """Declare one sweep point; validates the kind early."""
-    if kind not in POINT_KINDS:
+    if kind not in POINT_KINDS and kind not in LAZY_POINT_KINDS:
         raise KeyError(f"unknown sweep point kind {kind!r}")
     return (kind, params)
 
@@ -195,7 +217,7 @@ def point(kind: str, **params) -> tuple[str, dict]:
 def _execute_point(kind: str, params: dict, phantom_on: bool) -> object:
     """Run one point (also the process-pool worker entry)."""
     with phantom.phantom_payloads(phantom_on):
-        return POINT_KINDS[kind](**params)
+        return resolve_kind(kind)(**params)
 
 
 # ---------------------------------------------------------------------------
