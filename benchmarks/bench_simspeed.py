@@ -152,6 +152,130 @@ def run_suite() -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# observability zero-overhead gate
+# ---------------------------------------------------------------------------
+
+#: last commit before the repro.obs subsystem (metrics registry, trace
+#: exporter, phase profiler hooks on Core.busy)
+OBS_BASELINE_REF = "57a4d5b"
+
+#: disabled observability must keep the quick suite within this factor of
+#: the pre-obs tree, in both wall time and simulator events
+OBS_OVERHEAD_MAX_RATIO = 1.05
+
+#: wall-clock slack absorbing scheduler noise on sub-second figures
+OBS_WALL_EPSILON_S = 0.5
+
+#: figures timed by the overhead gate: the event-heaviest pull path (fig3)
+#: and the instrumented-everywhere stream path (fig9)
+OBS_FIGURES = ["fig3", "fig9"]
+
+#: child timer for the overhead gate: wall seconds AND simulator events per
+#: figure, serial, cold cache.  Works against any repro tree on PYTHONPATH
+#: (events_total predates both refs).
+_CHILD_TIMER_OBS = """
+import json, sys, tempfile, time
+from repro.reporting.experiments import EXPERIMENTS
+from repro.reporting.sweeps import SweepExecutor
+from repro.simkernel.scheduler import Simulator
+out = {}
+for name in json.loads(sys.argv[1]):
+    ex = SweepExecutor(jobs=1, cache_dir=tempfile.mkdtemp(prefix="obsbench-"))
+    ev0 = getattr(Simulator, "events_total", 0)
+    t0 = time.perf_counter()
+    EXPERIMENTS[name](quick=True, executor=ex)
+    out[name] = {"wall_s": time.perf_counter() - t0,
+                 "events": getattr(Simulator, "events_total", 0) - ev0}
+print(json.dumps(out))
+"""
+
+
+def _time_tree(src_path: Path, figures: list) -> "dict | None":
+    """Run the overhead child timer against one source tree."""
+    env = dict(os.environ, PYTHONPATH=str(src_path), REPRO_JOBS="1")
+    env.pop("REPRO_CACHE_DIR", None)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_TIMER_OBS, json.dumps(figures)],
+            check=True, capture_output=True, timeout=600, env=env, text=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_obs_overhead(figures=None) -> "dict | None":
+    """Back-to-back comparison: pre-obs tree vs HEAD, disabled observability.
+
+    Both sides run in fresh subprocesses (serial, cold cache) so neither
+    inherits the other's warmed allocator or bytecode cache unevenly.
+    Returns None when the baseline tree cannot be produced.
+    """
+    figures = figures or OBS_FIGURES
+    with tempfile.TemporaryDirectory(prefix="obs-base-") as tmp:
+        tar_path = Path(tmp) / "baseline.tar"
+        try:
+            subprocess.run(
+                ["git", "-C", str(ROOT), "archive", "-o", str(tar_path),
+                 OBS_BASELINE_REF, "src"],
+                check=True, capture_output=True, timeout=60,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        with tarfile.open(tar_path) as tf:
+            tf.extractall(tmp)
+        base = _time_tree(Path(tmp) / "src", figures)
+        if base is None:
+            return None
+    head = _time_tree(ROOT / "src", figures)
+    if head is None:
+        return None
+    report = {"baseline_ref": OBS_BASELINE_REF, "figures": {}}
+    for name in figures:
+        b, h = base[name], head[name]
+        report["figures"][name] = {
+            "baseline_wall_s": round(b["wall_s"], 4),
+            "wall_s": round(h["wall_s"], 4),
+            "wall_ratio": round(h["wall_s"] / b["wall_s"], 4),
+            "baseline_events": b["events"],
+            "events": h["events"],
+            "events_ratio": round(h["events"] / b["events"], 4)
+            if b["events"] else 1.0,
+        }
+    return report
+
+
+def test_obs_zero_overhead():
+    """Disabled observability stays within 5 % of the pre-obs tree.
+
+    The registry is read-only-lazy and the profiler hook is one ``is None``
+    check per busy charge, so both the simulated event count and the wall
+    clock of the quick figures must be unchanged (modulo timer noise).
+    """
+    report = measure_obs_overhead()
+    if report is None:
+        import pytest
+
+        pytest.skip(f"cannot produce baseline tree {OBS_BASELINE_REF} "
+                    "(no git history?)")
+    print()
+    for name, f in report["figures"].items():
+        print(f"  {name:6s} wall {f['baseline_wall_s']:7.3f}s -> "
+              f"{f['wall_s']:7.3f}s (x{f['wall_ratio']:.3f})  "
+              f"events {f['baseline_events']:,} -> {f['events']:,} "
+              f"(x{f['events_ratio']:.3f})")
+        assert f["events_ratio"] <= OBS_OVERHEAD_MAX_RATIO, (
+            f"{name}: observability changed the simulation itself "
+            f"({f['baseline_events']:,} -> {f['events']:,} events)"
+        )
+        budget = f["baseline_wall_s"] * OBS_OVERHEAD_MAX_RATIO + OBS_WALL_EPSILON_S
+        assert f["wall_s"] <= budget, (
+            f"{name}: disabled observability costs wall time "
+            f"({f['baseline_wall_s']}s -> {f['wall_s']}s, budget {budget:.3f}s)"
+        )
+
+
 def test_simspeed_quick_suite():
     """The acceptance gate: >=2x vs pre-PR, inside the wall budget."""
     report = run_suite()
@@ -176,3 +300,4 @@ def test_simspeed_quick_suite():
 
 if __name__ == "__main__":
     test_simspeed_quick_suite()
+    test_obs_zero_overhead()

@@ -11,57 +11,53 @@ what runs where.  The rendered timelines show the paper's core idea:
   concurrently on the DMA engine lane, and only the last fragment waits.
 
 Run:  python examples/offload_timeline.py
+      python examples/offload_timeline.py --trace out.json   # Perfetto JSON
 """
 
-from repro import build_testbed
+import argparse
+
+from repro.obs.scenarios import FIG56_SIZE, run_fig56_scenario
 from repro.units import KiB
 
 
-def trace_one_message(ioat: bool, size: int = 80 * KiB) -> str:
-    tb = build_testbed(ioat_enabled=ioat)
-    receiver = tb.hosts[1]
-    receiver.trace.enabled = True
-    ep0 = tb.open_endpoint(0, 0)
-    ep1 = tb.open_endpoint(1, 0)
-    core0, core1 = tb.user_core(0), tb.user_core(1)
-    sbuf = ep0.space.alloc(size)
-    rbuf = ep1.space.alloc(size)
-    sbuf.fill_pattern(3)
-    done = tb.sim.event()
-
-    def sender():
-        req = yield from ep0.isend(core0, ep1.addr, 0x77, sbuf)
-        yield from ep0.wait(core0, req)
-
-    def recv():
-        req = yield from ep1.irecv(core1, 0x77, ~0, rbuf)
-        yield from ep1.wait(core1, req)
-        done.succeed()
-
-    tb.sim.process(sender())
-    tb.sim.process(recv())
-    tb.sim.run_until(done)
-    assert bytes(rbuf.read()) == bytes(sbuf.read())
-
+def trace_one_message(ioat: bool, size: int = FIG56_SIZE) -> str:
+    recorder = run_fig56_scenario(ioat, size=size)
     # Render only the data-transfer phase (pull replies + DMA copies).
-    spans = [s for s in receiver.trace.spans
+    spans = [s for s in recorder.spans
              if s.label.startswith(("PULL_REPLY", "Copy"))]
-    receiver.trace.spans = spans
-    return receiver.trace.render_ascii(width=100)
+    recorder.spans = spans
+    return recorder.render_ascii(width=100)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="also export both runs as one Perfetto trace file")
+    ap.add_argument("--size", type=int, default=FIG56_SIZE,
+                    help=f"message size in bytes (default {FIG56_SIZE // KiB} KiB)")
+    args = ap.parse_args(argv)
+
+    if args.trace:
+        from repro.obs.trace import export_trace_events, write_trace
+
+        recorders = [
+            ("fig5-memcpy", run_fig56_scenario(False, size=args.size)),
+            ("fig6-ioat", run_fig56_scenario(True, size=args.size)),
+        ]
+        path = write_trace(export_trace_events(recorders), args.trace)
+        print(f"trace: {path} — open in ui.perfetto.dev\n")
+
     print("=" * 104)
     print("Fig. 5 — regular receive: each fragment is processed AND copied "
           "on the CPU before the next one")
     print("=" * 104)
-    print(trace_one_message(ioat=False))
+    print(trace_one_message(ioat=False, size=args.size))
     print()
     print("=" * 104)
     print("Fig. 6 — I/OAT offload: the CPU only processes+submits; copies "
           "overlap on the DMA engine lane")
     print("=" * 104)
-    print(trace_one_message(ioat=True))
+    print(trace_one_message(ioat=True, size=args.size))
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.memory.cache import CacheDirectory
 from repro.memory.copyengine import CpuCopier
 from repro.memory.pinning import Pinner
 from repro.memory.regcache import RegistrationCache
+from repro.obs.registry import MetricsRegistry
 from repro.params import Platform
 from repro.simkernel.cpu import Core, CpuSet
 from repro.simkernel.tracing import TraceRecorder
@@ -74,8 +75,39 @@ class Host:
         self.softirq.nics.append(self.nic)
         self.trace = TraceRecorder(sim, enabled=False)
         self.softirq.trace = self.trace
+        self.nic.trace = self.trace
         for channel in self.ioat_engine.channels:
             channel.trace = self.trace
+
+        #: per-host metrics registry: every component publishes its counters
+        #: here; :func:`repro.core.counters.collect_counters` snapshots it
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        reg = self.metrics
+        reg.counter("sim", "sim_events_processed",
+                    lambda: self.sim.events_processed)
+        reg.counter("sim", "sim_wall_ms",
+                    lambda: int(self.sim.wall_seconds * 1000))
+        self.nic.register_metrics(reg)
+        self.softirq.register_metrics(reg)
+        self.ioat_engine.register_metrics(reg)
+        self.copier.register_metrics(reg)
+        self.pinner.register_metrics(reg)
+        reg.counter("regcache", "regcache_hits", lambda: self.regcache.hits)
+        reg.counter("regcache", "regcache_misses", lambda: self.regcache.misses)
+        reg.counter("ioat", "ioat_copies_submitted",
+                    lambda: self.ioat.copies_submitted)
+        reg.counter("ioat", "ioat_descriptors_submitted",
+                    lambda: self.ioat.descriptors_submitted)
+        reg.gauge("skbuff", "skbuffs_outstanding",
+                  lambda: self.skb_pool.outstanding)
+        reg.gauge("skbuff", "skbuffs_peak",
+                  lambda: self.skb_pool.peak_outstanding)
+        reg.counter("trace", "trace_dropped_spans",
+                    lambda: self.trace.dropped_spans,
+                    "spans evicted by the recorder's ring-buffer cap")
 
     # -- topology helpers ---------------------------------------------------
 

@@ -1,11 +1,15 @@
 """Driver statistics collection (the ``omx_counters`` tool analogue).
 
 The real Open-MX ships a counters tool that dumps per-driver event counts
-for diagnosing deployments.  This module aggregates the same kind of
-counters from a simulated stack: wire traffic, eager/pull activity, offload
-decisions, reliability behaviour, registration-cache efficiency and buffer
-accounting — everything the tests and benchmarks reason about, in one
-table.
+for diagnosing deployments.  This module used to scrape every component
+attribute-by-attribute; it is now a thin view over the host's
+:class:`~repro.obs.registry.MetricsRegistry`, into which each component
+registers its own counters at construction time — a subsystem added
+tomorrow shows up in the dump without anyone editing this file.
+
+All pre-registry key names (``nic_rx_frames``, ``pull_replies_rx``...) are
+preserved: components register under the exact names this module used to
+emit, and ``tests/test_obs_registry.py`` pins the historical key set.
 """
 
 from __future__ import annotations
@@ -19,79 +23,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def collect_counters(stack: "OmxStack") -> dict[str, int]:
-    """Snapshot all counters of one host's Open-MX instance."""
-    driver = stack.driver
-    host = driver.host
-    c: dict[str, int] = {}
+    """Snapshot all counters of one host's Open-MX instance.
 
-    # event loop (simulator-side, but reported with the stack so the
-    # self-benchmark can derive events/second per scenario)
-    c["sim_events_processed"] = host.sim.events_processed
-    c["sim_wall_ms"] = int(host.sim.wall_seconds * 1000)
-
-    # NIC / wire
-    c["nic_tx_frames"] = host.nic.tx_frames
-    c["nic_rx_frames"] = host.nic.rx_frames
-    c["nic_rx_dropped"] = host.nic.rx_dropped
-    c["nic_rx_crc_errors"] = host.nic.rx_crc_errors
-    c["softirq_packets"] = host.softirq.packets_handled
-    c["softirq_batches"] = host.softirq.batches
-
-    # protocol
-    c["eager_rx"] = driver.eager_rx
-    c["pull_replies_rx"] = driver.pull_replies_rx
-    c["eager_ring_drops"] = driver.ring_drops
-    c["active_pulls"] = len(driver._pulls)
-    c["active_large_sends"] = len(driver._large_sends)
-
-    # reliability
-    c["retransmissions"] = sum(
-        s.retransmissions for s in driver._tx_sessions.values()
-    )
-    c["duplicates_filtered"] = sum(
-        s.duplicates for s in driver._rx_sessions.values()
-    )
-    c["reacks"] = sum(s.reacks for s in driver._rx_sessions.values())
-    c["dead_letters"] = driver.dead_letters
-    c["pull_retransmits"] = sum(h.retransmits for h in driver._pulls.values())
-    c["pull_aborts"] = driver.pull_aborts
-    c["requests_failed"] = driver.requests_failed
-
-    # offload (§III)
-    c["offload_frags_dma"] = driver.offload.frags_offloaded
-    c["offload_frags_memcpy"] = driver.offload.frags_memcpy
-    c["offload_cleanups"] = driver.offload.cleanups
-    c["offload_skbuffs_reaped"] = driver.offload.skbuffs_reaped
-    c["offload_starvation_fallbacks"] = driver.offload.starvation_fallbacks
-    c["offload_fallback_copies"] = driver.offload.fallback_copies
-
-    # engines
-    c["ioat_bytes_copied"] = host.ioat_engine.bytes_copied
-    c["ioat_descriptors"] = host.ioat_engine.descriptors_completed
-    c["ioat_descriptors_failed"] = host.ioat_engine.descriptors_failed
-    c["cpu_bytes_copied"] = host.copier.bytes_copied
-
-    # registration
-    c["regcache_hits"] = host.regcache.hits
-    c["regcache_misses"] = host.regcache.misses
-    c["pin_calls"] = host.pinner.pin_calls
-    c["pages_pinned"] = host.pinner.pages_pinned
-
-    # shared memory
-    c["shm_eager"] = driver.shm.local_eager
-    c["shm_large"] = driver.shm.local_large
-    c["shm_ioat_copies"] = driver.shm.ioat_copies
-
-    # buffers
-    c["skbuffs_outstanding"] = host.skb_pool.outstanding
-    c["skbuffs_peak"] = host.skb_pool.peak_outstanding
-
-    # kernel-matching extension
-    if driver.kmatch is not None:
-        c["kmatch_matches"] = driver.kmatch.kernel_matches
-        c["kmatch_fallbacks"] = driver.kmatch.fallbacks
-        c["kmatch_frags_offloaded"] = driver.kmatch.frags_offloaded
-    return c
+    The keys are whatever the host's components registered — a superset of
+    the historical hand-maintained set.
+    """
+    return stack.host.metrics.snapshot()
 
 
 def render_counters(stack: "OmxStack", title: str = "") -> str:

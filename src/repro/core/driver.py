@@ -108,6 +108,37 @@ class OmxDriver:
         self.pull_aborts = 0
         self.requests_failed = 0
 
+        self._register_metrics(host.metrics)
+
+    def _register_metrics(self, reg) -> None:
+        """Publish protocol-layer statistics into the host registry."""
+        from repro.core.pull import register_pull_metrics
+        from repro.core.reliability import register_reliability_metrics
+
+        reg.counter("omx", "eager_rx", lambda: self.eager_rx)
+        reg.counter("omx", "pull_replies_rx", lambda: self.pull_replies_rx)
+        reg.counter("omx", "eager_ring_drops", lambda: self.ring_drops,
+                    "eager fragments dropped on ring exhaustion")
+        reg.counter("omx", "dead_letters", lambda: self.dead_letters)
+        reg.counter("omx", "pull_aborts", lambda: self.pull_aborts)
+        reg.counter("omx", "requests_failed", lambda: self.requests_failed)
+        register_reliability_metrics(reg, self)
+        register_pull_metrics(reg, self)
+        self.offload.register_metrics(reg)
+        reg.counter("shm", "shm_eager", lambda: self.shm.local_eager)
+        reg.counter("shm", "shm_large", lambda: self.shm.local_large)
+        reg.counter("shm", "shm_ioat_copies", lambda: self.shm.ioat_copies)
+        if self.kmatch is not None:
+            reg.counter("kmatch", "kmatch_matches",
+                        lambda: self.kmatch.kernel_matches)
+            reg.counter("kmatch", "kmatch_fallbacks",
+                        lambda: self.kmatch.fallbacks)
+            reg.counter("kmatch", "kmatch_frags_offloaded",
+                        lambda: self.kmatch.frags_offloaded)
+        #: completed-pull size distribution (power-of-two buckets)
+        self._pull_bytes = reg.histogram("omx", "pull_bytes",
+                                         "bytes moved per completed pull")
+
     # ------------------------------------------------------------------
     # endpoint management
     # ------------------------------------------------------------------
@@ -159,12 +190,17 @@ class OmxDriver:
             src_mac=self.host.host_id, dst_mac=pkt.dst.host,
             ethertype=ETHERTYPE_MX, payload=pkt, payload_len=pkt.wire_payload_len,
         )
-        yield from core.busy(self.host.platform.nic.tx_frame_cost, category)
+        yield from core.busy(self.host.platform.nic.tx_frame_cost, category,
+                             phase="tx")
         yield from self.host.nic.xmit(core, skb, frame)
         return None
 
     def _queue_resend(self, pkt: MxPacket) -> None:
         """Retransmission callback from a TX session timer."""
+        trace = self.host.trace
+        if trace is not None and trace.enabled:
+            trace.instant("events", f"retransmit {pkt.ptype.name}",
+                          "retransmit")
         self._ctl_queue.put(pkt)
 
     def _queue_ack(self, owner: EndpointAddr, peer: EndpointAddr, ack_seqnum: int) -> None:
@@ -198,6 +234,9 @@ class OmxDriver:
         (mediums) are failed directly by the session's watcher callbacks.
         """
         self.dead_letters += 1
+        trace = self.host.trace
+        if trace is not None and trace.enabled:
+            trace.instant("events", f"dead letter {pkt.ptype.name}", "fault")
         if pkt.ptype in (PktType.RNDV, PktType.NACK):
             self._dead_queue.put((pkt, err))
         # NOTIFY dead-lettering has nothing to clean locally: the pull (and
@@ -243,7 +282,8 @@ class OmxDriver:
     def _enter_syscall(self, core: "Core") -> Generator:
         yield core.res.request()
         yield from core.busy(
-            self.params.syscall_cost + self.params.driver_command_cost, "driver"
+            self.params.syscall_cost + self.params.driver_command_cost, "driver",
+            phase="syscall",
         )
         return None
 
@@ -460,6 +500,7 @@ class OmxDriver:
         yield from self.offload.wait_all(core, handle.offload)
         handle.done = True
         self._pulls.pop(handle.id, None)
+        self._pull_bytes.observe(handle.total)
         if handle.pinned is not None:
             yield from self.host.regcache.release(core, handle.pinned, category)
         handle.req.xfer_length = handle.total
@@ -484,10 +525,11 @@ class OmxDriver:
             # The large-fragment surcharge is merged into the base charge:
             # one timeout instead of two per fragment on the hottest path.
             yield from core.busy(
-                self._bh_base_cost + self.params.bh_large_frag_extra, "bh"
+                self._bh_base_cost + self.params.bh_large_frag_extra, "bh",
+                phase="bh_header",
             )
         else:
-            yield from core.busy(self._bh_base_cost, "bh")
+            yield from core.busy(self._bh_base_cost, "bh", phase="bh_header")
 
         # Piggybacked cumulative ack.
         if pkt.ack_seqnum >= 0 and pkt.ptype is not PktType.ACK:
@@ -578,7 +620,7 @@ class OmxDriver:
             else:
                 yield from self.host.copier.memcpy(
                     core, skb.head, 0, ep.ring.slot_region(slot), 0,
-                    pkt.data_length, "bh",
+                    pkt.data_length, "bh", phase="eager_copy",
                 )
         self.eager_rx += 1
         skb.free()

@@ -81,6 +81,20 @@ class OffloadManager:
         #: copies redone on the CPU because the DMA channel aborted them
         self.fallback_copies = 0
 
+    def register_metrics(self, reg) -> None:
+        """Publish offload decisions into a metrics registry."""
+        reg.counter("offload", "offload_frags_dma", lambda: self.frags_offloaded)
+        reg.counter("offload", "offload_frags_memcpy", lambda: self.frags_memcpy)
+        reg.counter("offload", "offload_cleanups", lambda: self.cleanups)
+        reg.counter("offload", "offload_skbuffs_reaped",
+                    lambda: self.skbuffs_reaped)
+        reg.counter("offload", "offload_starvation_fallbacks",
+                    lambda: self.starvation_fallbacks,
+                    "fragments copied synchronously at the skbuff cap")
+        reg.counter("offload", "offload_fallback_copies",
+                    lambda: self.fallback_copies,
+                    "copies redone on the CPU after a channel failure")
+
     # -- policy -------------------------------------------------------------
 
     def new_message_state(self) -> MessageOffloadState:
@@ -135,7 +149,8 @@ class OffloadManager:
             self.frags_offloaded += 1
             return True
         yield from self.host.copier.memcpy(
-            core, skb.head, skb_off, dst, dst_off, length, "bh"
+            core, skb.head, skb_off, dst, dst_off, length, "bh",
+            phase="frag_copy",
         )
         state.copied_bytes += length
         self.frags_memcpy += 1
@@ -187,7 +202,7 @@ class OffloadManager:
             return
         yield from self.host.copier.memcpy(
             core, entry.skb.head, entry.skb_off, entry.dst, entry.dst_off,
-            entry.length, "bh",
+            entry.length, "bh", phase="fallback_copy",
         )
         state.offloaded_bytes -= entry.length
         state.copied_bytes += entry.length

@@ -114,3 +114,15 @@ class PullHandle:
     @property
     def complete(self) -> bool:
         return self.received >= self.total
+
+
+def register_pull_metrics(reg, driver) -> None:
+    """Publish pull-engine gauges into a metrics registry.
+
+    ``pull_retransmits`` only covers live pulls (completed handles leave
+    the table), matching the long-standing ``collect_counters`` semantics.
+    """
+    reg.gauge("pull", "active_pulls", lambda: len(driver._pulls))
+    reg.gauge("pull", "active_large_sends", lambda: len(driver._large_sends))
+    reg.gauge("pull", "pull_retransmits",
+              lambda: sum(h.retransmits for h in driver._pulls.values()))

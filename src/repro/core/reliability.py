@@ -229,3 +229,18 @@ class RxSession:
                 self.send_ack(self.owner, self.peer, self.cumulative)
 
         self.sim.daemon(delayed(), name=f"delack-{self.peer}")
+
+
+def register_reliability_metrics(reg, driver) -> None:
+    """Publish driver-wide reliability sums into a metrics registry.
+
+    Sessions come and go per peer, so the metrics aggregate over the
+    driver's live session tables at read time.
+    """
+    reg.counter("reliability", "retransmissions",
+                lambda: sum(s.retransmissions
+                            for s in driver._tx_sessions.values()))
+    reg.counter("reliability", "duplicates_filtered",
+                lambda: sum(s.duplicates for s in driver._rx_sessions.values()))
+    reg.counter("reliability", "reacks",
+                lambda: sum(s.reacks for s in driver._rx_sessions.values()))

@@ -53,6 +53,14 @@ class SoftirqEngine:
         self.unhandled = 0
         sim.daemon(self._daemon(), name="softirq-daemon")
 
+    def register_metrics(self, reg) -> None:
+        """Publish BH statistics into a :class:`~repro.obs.registry.MetricsRegistry`."""
+        reg.counter("softirq", "softirq_packets", lambda: self.packets_handled)
+        reg.counter("softirq", "softirq_batches", lambda: self.batches,
+                    "BH activations (NAPI poll rounds)")
+        reg.counter("softirq", "softirq_unhandled", lambda: self.unhandled,
+                    "packets with no registered ethertype handler")
+
     def register_handler(self, ethertype: int, handler: Handler) -> None:
         """Install the protocol receive callback for ``ethertype``."""
         self._handlers[ethertype] = handler
@@ -69,7 +77,8 @@ class SoftirqEngine:
             yield self.sim.timeout(self.params.interrupt_coalesce)
             yield core.res.request()
             try:
-                yield from core.busy(self.irq_dispatch_cost(), "bh")
+                yield from core.busy(self.irq_dispatch_cost(), "bh",
+                                     phase="irq_dispatch")
                 batch = 1
                 yield from self._handle(core, skb)
                 while batch < NAPI_BUDGET:

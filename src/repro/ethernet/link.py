@@ -102,6 +102,9 @@ class _Direction:
         self.loss: Optional[LossInjector] = None
         #: generalized fault hook (drop/duplicate/reorder/corrupt)
         self.fault: Optional[FrameFaultHook] = None
+        #: optional TraceRecorder: serialized frames become "wire:" spans,
+        #: fault verdicts become instant events
+        self.trace = None
         self.frames_sent = 0
         self.bytes_sent = 0
 
@@ -135,6 +138,15 @@ class _Direction:
                 copies = 1 + verdict.duplicates
                 if verdict.corrupt:
                     frame.corrupted = True
+            tr = self.trace
+            if tr is not None and tr.enabled:
+                label = getattr(frame.payload, "describe", lambda: "frame")()
+                lane = f"wire:{self.name}"
+                tr.record(lane, label.split(" ")[0], start, sim.now, "wire")
+                if not delivered:
+                    tr.instant(lane, "frame lost", "fault")
+                elif copies > 1 or extra_delay or frame.corrupted:
+                    tr.instant(lane, "frame faulted (dup/delay/corrupt)", "fault")
             if delivered:
                 sink = self.sink
                 if sink is not None:

@@ -61,12 +61,23 @@ class Nic:
         #: fault hook: when set and ``blocks(now)`` is true, incoming frames
         #: are dropped as if the rx ring were exhausted (refill starvation)
         self.rx_fault = None
+        #: optional TraceRecorder: drops/CRC errors become instant events
+        self.trace = None
         # statistics
         self.rx_frames = 0
         self.tx_frames = 0
         self.rx_dropped = 0
         self.rx_crc_errors = 0
         self._fill_ring()
+
+    def register_metrics(self, reg) -> None:
+        """Publish NIC statistics into a :class:`~repro.obs.registry.MetricsRegistry`."""
+        reg.counter("nic", "nic_tx_frames", lambda: self.tx_frames)
+        reg.counter("nic", "nic_rx_frames", lambda: self.rx_frames)
+        reg.counter("nic", "nic_rx_dropped", lambda: self.rx_dropped,
+                    "frames dropped: exhausted rx ring or no driver")
+        reg.counter("nic", "nic_rx_crc_errors", lambda: self.rx_crc_errors,
+                    "frames dropped in hardware with a bad FCS")
 
     # -- receive ----------------------------------------------------------
 
@@ -83,6 +94,8 @@ class Nic:
         if frame.corrupted:
             # Bad FCS: real NICs drop these in hardware, before any DMA.
             self.rx_crc_errors += 1
+            if self.trace is not None and self.trace.enabled:
+                self.trace.instant("NIC", "rx CRC error", "fault")
             return
         if self.frame_sink is not None:
             self.frame_sink(frame)
@@ -91,6 +104,8 @@ class Nic:
             self.rx_fault is not None and self.rx_fault.blocks(self.sim.now)
         ):
             self.rx_dropped += 1
+            if self.trace is not None and self.trace.enabled:
+                self.trace.instant("NIC", "rx ring exhausted: drop", "fault")
             return
         skb = self._rx_ring.popleft()
         payload = frame.payload

@@ -14,10 +14,30 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.faults.campaign import quick_campaign_spec, run_campaign, write_report
 from repro.reporting.sweeps import SweepExecutor
 from repro.reporting.table import Table
+
+
+def _write_cell_traces(report: dict, out_dir: str) -> int:
+    """Extract each cell's trace into its own Perfetto file.
+
+    The timelines are moved out of the report (they would swamp the JSON
+    and break its byte-stable determinism contract, which excludes traces).
+    """
+    from repro.obs.trace import write_trace
+
+    written = 0
+    for cell in report["cells"]:
+        doc = cell.pop("trace_events", None)
+        if doc is None:
+            continue
+        name = f'{cell["workload"]}-{cell["size"]}-{cell["plan"]}.json'
+        write_trace(doc, Path(out_dir) / name)
+        written += 1
+    return written
 
 
 def main(argv=None) -> int:
@@ -34,6 +54,8 @@ def main(argv=None) -> int:
                     help="worker processes (default: REPRO_JOBS or 1)")
     ap.add_argument("--no-cache", action="store_true",
                     help="disable the sweep cache")
+    ap.add_argument("--trace", default=None, metavar="DIR",
+                    help="also write one Perfetto trace per cell into DIR")
     args = ap.parse_args(argv)
 
     spec = quick_campaign_spec(args.seed)
@@ -42,7 +64,10 @@ def main(argv=None) -> int:
 
         spec = replace(spec, iters=args.iters)
     executor = SweepExecutor(jobs=args.jobs, cache=not args.no_cache)
-    report = run_campaign(spec, executor=executor)
+    report = run_campaign(spec, executor=executor, trace=args.trace is not None)
+    if args.trace is not None:
+        n = _write_cell_traces(report, args.trace)
+        print(f"traces: {n} file(s) under {args.trace}")
     path = write_report(report, args.out)
 
     t = Table(f"fault campaign (seed={args.seed!r})",

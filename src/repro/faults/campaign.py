@@ -205,15 +205,29 @@ def _build_testbed(workload: str):
 # ---------------------------------------------------------------------------
 
 
+#: ring-buffer cap for campaign traces: a faulty cell can retransmit for
+#: the full 60 ms deadline, so recorders are always bounded here
+TRACE_MAX_SPANS = 4096
+
+
 def run_cell(workload: str, size: int, plan: FaultPlan,
-             iters: int = 3) -> dict:
-    """Run one (workload, size, plan) cell; returns its JSON-able report."""
+             iters: int = 3, trace: bool = False) -> dict:
+    """Run one (workload, size, plan) cell; returns its JSON-able report.
+
+    With ``trace=True`` every host records a bounded span timeline and the
+    report gains a ``trace_events`` document (Perfetto JSON, one process
+    group per host) — faults and retransmits show up as instant events.
+    """
     from repro.analysis.sanitizers import Sanitizer
     from repro.core.counters import collect_counters
 
     if workload not in WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
     tb = _build_testbed(workload)
+    if trace:
+        for host in tb.hosts:
+            host.trace.enabled = True
+            host.trace.set_max_spans(TRACE_MAX_SPANS)
     san = Sanitizer()
     for host in tb.hosts:
         san.watch_host(host)
@@ -251,7 +265,7 @@ def run_cell(workload: str, size: int, plan: FaultPlan,
         stack_counters["switch_forwarded"] = tb.switch.forwarded
 
     violations = [v.format() for v in san.check()]
-    return {
+    report = {
         "workload": workload,
         "size": size,
         "plan": plan.name,
@@ -265,11 +279,20 @@ def run_cell(workload: str, size: int, plan: FaultPlan,
         "sanitizer": violations,
         "end_time": tb.sim.now,
     }
+    if trace:
+        from repro.obs.trace import export_trace_events
+
+        report["trace_events"] = export_trace_events(
+            [(host.name, host.trace) for host in tb.hosts]
+        )
+    return report
 
 
-def point_fault_cell(workload: str, size: int, plan: dict, iters: int) -> dict:
+def point_fault_cell(workload: str, size: int, plan: dict, iters: int,
+                     trace: bool = False) -> dict:
     """Sweep-executor entry: plans travel as dicts (JSON-serializable)."""
-    return run_cell(workload, size, FaultPlan.from_dict(plan), iters=iters)
+    return run_cell(workload, size, FaultPlan.from_dict(plan), iters=iters,
+                    trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -328,16 +351,22 @@ def quick_campaign_spec(seed: str = "campaign") -> CampaignSpec:
     )
 
 
-def run_campaign(spec: CampaignSpec, executor=None) -> dict:
-    """Execute a campaign matrix; returns the aggregated report."""
+def run_campaign(spec: CampaignSpec, executor=None, trace: bool = False) -> dict:
+    """Execute a campaign matrix; returns the aggregated report.
+
+    ``trace=True`` adds a bounded Perfetto timeline to every cell (see
+    :func:`run_cell`); the parameter is only put on the point when set, so
+    traceless campaigns keep their historical cache keys.
+    """
     from repro.reporting.sweeps import SweepExecutor, point
 
     cells, skipped = spec.cells()
     if executor is None:
         executor = SweepExecutor()
+    extra = {"trace": True} if trace else {}
     points = [
         point("fault_cell", workload=w, size=s, plan=p.to_dict(),
-              iters=spec.iters)
+              iters=spec.iters, **extra)
         for (w, s, p) in cells
     ]
     results = executor.run(points)

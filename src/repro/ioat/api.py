@@ -109,8 +109,9 @@ class IoatDmaApi:
                     break
                 start = core.sim.now
                 yield ch.wait_completion().wait()
-                core.counters.add(category, core.sim.now - start)
-            yield from core.busy(self.params.submit_cost, category)
+                core.account(category, core.sim.now - start, phase="dma_wait")
+            yield from core.busy(self.params.submit_cost, category,
+                                 phase="dma_submit")
             last = ch.submit(
                 CopyDescriptor(src, src_off + rel_src, dst, dst_off + rel_dst, n)
             )
@@ -151,8 +152,9 @@ class IoatDmaApi:
                     break
                 start = core.sim.now
                 yield ch.wait_completion().wait()
-                core.counters.add(category, core.sim.now - start)
-            yield from core.busy(self.params.submit_cost, category)
+                core.account(category, core.sim.now - start, phase="dma_wait")
+            yield from core.busy(self.params.submit_cost, category,
+                                 phase="dma_submit")
             last[ch.index] = ch.submit(
                 CopyDescriptor(src, src_off + rel_src, dst, dst_off + rel_dst, n)
             )
@@ -167,7 +169,7 @@ class IoatDmaApi:
 
     def poll_once(self, core: "Core", channel: DmaChannel, category: str) -> Generator:
         """One cheap status read; returns the highest completed cookie."""
-        yield from core.busy(self.params.poll_cost, category)
+        yield from core.busy(self.params.poll_cost, category, phase="dma_poll")
         return channel.poll()
 
     def busy_wait(self, core: "Core", cookie: DmaCookie, category: str) -> Generator:
@@ -180,10 +182,10 @@ class IoatDmaApi:
         start = core.sim.now
         while not cookie.done:
             yield cookie.channel.wait_completion().wait()
-        core.counters.add(category, core.sim.now - start)
+        core.account(category, core.sim.now - start, phase="dma_wait")
         # Completion observation tax: status writeback + cold status read.
         yield from core.busy(self.params.completion_latency + self.params.poll_cost,
-                             category)
+                             category, phase="dma_poll")
         return core.sim.now
 
     def predicted_completion_delay(self, cookie: DmaCookie) -> int:
@@ -215,6 +217,7 @@ class IoatDmaApi:
             core.res.release()
             yield core.sim.timeout(delay)
             yield core.res.request()
-            yield from core.busy(self.params.poll_cost, category)
-        yield from core.busy(self.params.completion_latency, category)
+            yield from core.busy(self.params.poll_cost, category, phase="dma_poll")
+        yield from core.busy(self.params.completion_latency, category,
+                             phase="dma_poll")
         return core.sim.now

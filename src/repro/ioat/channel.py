@@ -68,6 +68,15 @@ class DmaChannel:
         self.busy_ticks = 0
         self.stalls = 0
 
+    def register_metrics(self, reg) -> None:
+        """Publish per-channel statistics (engine sums are registered by
+        :meth:`repro.ioat.engine.IoatEngine.register_metrics`)."""
+        name = f"ioat_ch{self.index}"
+        reg.counter("ioat", f"{name}_busy_ticks", lambda: self.busy_ticks,
+                    "engine time spent executing descriptors")
+        reg.counter("ioat", f"{name}_stalls", lambda: self.stalls)
+        reg.gauge("ioat", f"{name}_queue_depth", lambda: self.queue_depth)
+
     # -- host-side API -----------------------------------------------------
 
     def submit(self, desc: CopyDescriptor) -> int:
@@ -138,6 +147,8 @@ class DmaChannel:
             return
         self.failed = True
         self.fail_detail = detail
+        if self.trace is not None and self.trace.enabled:
+            self.trace.instant(f"I/OAT ch{self.index}", f"FAIL: {detail}", "fault")
         aborted = self.ring.pending()
         for desc in aborted:
             self._abort_desc(desc)
@@ -156,6 +167,9 @@ class DmaChannel:
         if until > self._stalled_until:
             self._stalled_until = until
         self.stalls += 1
+        if self.trace is not None and self.trace.enabled:
+            self.trace.instant(f"I/OAT ch{self.index}",
+                               f"stall {duration} ns", "fault")
 
     def _abort_desc(self, desc: CopyDescriptor) -> None:
         desc.failed = True

@@ -40,6 +40,17 @@ class IoatEngine:
     def __getitem__(self, i: int) -> DmaChannel:
         return self.channels[i]
 
+    def register_metrics(self, reg) -> None:
+        """Publish engine aggregates plus every channel's own metrics."""
+        reg.counter("ioat", "ioat_bytes_copied", lambda: self.bytes_copied)
+        reg.counter("ioat", "ioat_descriptors", lambda: self.descriptors_completed)
+        reg.counter("ioat", "ioat_descriptors_failed",
+                    lambda: self.descriptors_failed,
+                    "descriptors aborted by channel failure")
+        reg.counter("ioat", "ioat_stalls", lambda: self.stalls)
+        for channel in self.channels:
+            channel.register_metrics(reg)
+
     def allocate_channel(self) -> DmaChannel:
         """Round-robin checkout: one channel per flow/message."""
         ch = self.channels[self._rr % len(self.channels)]

@@ -41,6 +41,11 @@ class CpuCopier:
         self.bytes_copied = 0
         self.calls = 0
 
+    def register_metrics(self, reg) -> None:
+        """Publish CPU-copy statistics into a metrics registry."""
+        reg.counter("copier", "cpu_bytes_copied", lambda: self.bytes_copied)
+        reg.counter("copier", "cpu_copy_calls", lambda: self.calls)
+
     # -- cost arithmetic -----------------------------------------------------
 
     def _blended_bw(self, core: "Core", src: MemoryRegion, src_off: int,
@@ -97,14 +102,15 @@ class CpuCopier:
 
     def memcpy(self, core: "Core", src: MemoryRegion, src_off: int,
                dst: MemoryRegion, dst_off: int, length: int, category: str,
-               chunk: Optional[int] = None) -> Generator:
+               chunk: Optional[int] = None,
+               phase: Optional[str] = None) -> Generator:
         """Copy with CPU time charged to ``category``; caller holds ``core``.
 
-        Moves the real bytes and applies cache pollution.  Returns the cost
-        in ticks.
+        Moves the real bytes and applies cache pollution.  ``phase`` tags
+        the work for an attached profiler.  Returns the cost in ticks.
         """
         cost = self.copy_cost(core, src, src_off, dst, dst_off, length, chunk)
-        yield from core.busy(cost, category)
+        yield from core.busy(cost, category, phase=phase or "memcpy")
         copy_bytes(src, src_off, dst, dst_off, length)
         cache = self.caches[core.die]
         cache.touch(src.addr + src_off, length)

@@ -61,6 +61,12 @@ class Pinner:
         #: set, it is notified of every pin/unpin (leak tracking)
         self.observer = None
 
+    def register_metrics(self, reg) -> None:
+        """Publish pinning statistics into a metrics registry."""
+        reg.counter("pinner", "pin_calls", lambda: self.pin_calls)
+        reg.counter("pinner", "pages_pinned", lambda: self.pages_pinned)
+        reg.counter("pinner", "unpin_calls", lambda: self.unpin_calls)
+
     def pin_cost(self, region: MemoryRegion) -> int:
         """CPU ticks needed to pin ``region``."""
         n = pages_spanned(region.addr, len(region))
@@ -71,7 +77,7 @@ class Pinner:
 
         Returns the :class:`PinnedRegion`.
         """
-        yield from core.busy(self.pin_cost(region), category)
+        yield from core.busy(self.pin_cost(region), category, phase="pin")
         self.pin_calls += 1
         self.pages_pinned += pages_spanned(region.addr, len(region))
         pinned = PinnedRegion(region)
@@ -82,7 +88,7 @@ class Pinner:
     def unpin(self, core: "Core", pinned: PinnedRegion, category: str = "driver") -> Generator:
         """Release a pinned region (cheap: per-page put_page)."""
         cost = self.params.pin_base_cost // 3 + pinned.n_pages * (self.params.pin_page_cost // 4)
-        yield from core.busy(cost, category)
+        yield from core.busy(cost, category, phase="unpin")
         pinned.unpin()
         self.unpin_calls += 1
         if self.observer is not None:

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` entry point."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

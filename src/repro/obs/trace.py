@@ -1,0 +1,195 @@
+"""Chrome/Perfetto ``trace_events`` export of simulator traces.
+
+Turns :class:`~repro.simkernel.tracing.TraceRecorder` spans into the JSON
+object format consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+* every recorder becomes a group of *processes* — one for the CPU cores,
+  one for the DMA channels, one for the wire — and every lane becomes a
+  *thread* (track) inside its process;
+* spans become complete events (``ph: "X"``, microsecond ``ts``/``dur``
+  derived from the integer-ns simulated clock);
+* :class:`~repro.simkernel.tracing.TraceInstant` records (faults injected,
+  retransmits fired, NIC drops) become instant events (``ph: "i"``).
+
+Multiple recorders can be merged into one file with namespacing (e.g. the
+fig5 memcpy run next to the fig6 I/OAT run, or one track group per host of
+a fault-campaign cell).
+
+The structural validator (:func:`validate_trace_events`) is stdlib-only and
+is what the schema tests run against exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.tracing import TraceRecorder
+
+#: simulated clock is integer ns; trace_events ``ts``/``dur`` are in us
+_NS_PER_US = 1000.0
+
+#: lane-prefix -> (process label, sort index); unmatched lanes go to "events"
+_LANE_PROCESSES = (
+    ("CPU#", "cores", 0),
+    ("I/OAT", "dma", 1),
+    ("wire", "wire", 2),
+)
+_DEFAULT_PROCESS = ("events", 3)
+
+
+def _lane_process(lane: str) -> tuple[str, int]:
+    for prefix, label, sort in _LANE_PROCESSES:
+        if lane.startswith(prefix):
+            return label, sort
+    return _DEFAULT_PROCESS
+
+
+def export_trace_events(
+    recorders: Union["TraceRecorder", Iterable[tuple[str, "TraceRecorder"]]],
+    origin: Optional[int] = None,
+) -> dict:
+    """Build a trace_events JSON object from one or more recorders.
+
+    ``recorders`` is either a single :class:`TraceRecorder` or an iterable
+    of ``(namespace, recorder)`` pairs; namespaces become process-name
+    prefixes so merged runs stay distinguishable.  ``origin`` (default: the
+    earliest span/instant) is subtracted from all timestamps.
+    """
+    from repro.simkernel.tracing import TraceRecorder
+
+    if isinstance(recorders, TraceRecorder):
+        groups: list[tuple[str, TraceRecorder]] = [("", recorders)]
+    else:
+        groups = list(recorders)
+
+    if origin is None:
+        times = [s.start for _, rec in groups for s in rec.spans]
+        times += [i.at for _, rec in groups for i in rec.instants]
+        origin = min(times) if times else 0
+
+    events: list[dict] = []
+    pids: dict[tuple[str, str], int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    dropped_total = 0
+
+    def pid_of(namespace: str, lane: str) -> int:
+        label, sort = _lane_process(lane)
+        key = (namespace, label)
+        pid = pids.get(key)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[key] = pid
+            name = f"{namespace}:{label}" if namespace else label
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": name}})
+            events.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                           "tid": 0, "args": {"sort_index": sort}})
+        return pid
+
+    def tid_of(pid: int, lane: str) -> int:
+        key = (pid, lane)
+        tid = tids.get(key)
+        if tid is None:
+            tid = sum(1 for p, _ in tids if p == pid) + 1
+            tids[key] = tid
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": lane}})
+        return tid
+
+    for namespace, rec in groups:
+        dropped_total += rec.dropped_spans
+        for s in rec.spans:
+            pid = pid_of(namespace, s.lane)
+            events.append({
+                "ph": "X", "name": s.label, "cat": s.category or "span",
+                "ts": (s.start - origin) / _NS_PER_US,
+                "dur": max(s.end - s.start, 1) / _NS_PER_US,
+                "pid": pid, "tid": tid_of(pid, s.lane),
+            })
+        for i in rec.instants:
+            pid = pid_of(namespace, i.lane)
+            events.append({
+                "ph": "i", "name": i.label, "cat": i.category or "instant",
+                "ts": (i.at - origin) / _NS_PER_US, "s": "t",
+                "pid": pid, "tid": tid_of(pid, i.lane),
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "origin_ns": origin,
+            "dropped_spans": dropped_total,
+        },
+    }
+
+
+def write_trace(doc: dict, path) -> Path:
+    """Serialize an exported trace to ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# structural schema validation (stdlib-only)
+# ---------------------------------------------------------------------------
+
+_INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def validate_trace_events(doc: object) -> list[str]:
+    """Structural check of a trace_events JSON object; [] means valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if "displayTimeUnit" in doc and doc["displayTimeUnit"] not in ("ms", "ns"):
+        problems.append(f"bad displayTimeUnit {doc['displayTimeUnit']!r}")
+    for n, ev in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    problems.append(f"{where}: 'X' event missing numeric {key!r}")
+                elif ev[key] < 0:
+                    problems.append(f"{where}: negative {key!r}")
+        elif ph == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: 'i' event missing numeric 'ts'")
+            if ev.get("s") not in _INSTANT_SCOPES:
+                problems.append(f"{where}: 'i' event scope must be g/p/t")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata event missing 'args'")
+        else:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def validate_trace_file(path) -> list[str]:
+    """Load ``path`` and validate it; JSON errors become problems too."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_trace_events(doc)

@@ -189,6 +189,7 @@ POINT_KINDS: dict[str, Callable] = {
 #: (repro.faults.campaign imports SweepExecutor from here)
 LAZY_POINT_KINDS: dict[str, str] = {
     "fault_cell": "repro.faults.campaign:point_fault_cell",
+    "cpu_profile": "repro.obs.profiler:point_cpu_profile",
 }
 
 

@@ -51,6 +51,9 @@ class Core:
         self.counters = BusyCounters()
         #: set by the host to the L2 cache shared by this core's die
         self.l2cache = None
+        #: optional :class:`repro.obs.profiler.PhaseProfiler`; when attached,
+        #: busy time is additionally attributed to fine-grained phases
+        self.profiler = None
 
     # -- execution ---------------------------------------------------------
 
@@ -67,20 +70,39 @@ class Core:
             self.res.release()
         return self.sim.now
 
-    def busy(self, duration: int, category: str) -> Generator:
-        """Consume ``duration`` busy ticks; the caller must hold the core."""
+    def busy(self, duration: int, category: str, phase: Optional[str] = None) -> Generator:
+        """Consume ``duration`` busy ticks; the caller must hold the core.
+
+        ``phase`` optionally tags the work for an attached
+        :class:`~repro.obs.profiler.PhaseProfiler` (no cost when none is).
+        """
         if duration < 0:
             raise ValueError("negative duration")
         if duration:
             yield self.sim.timeout(duration)
         self.counters.add(category, duration)
+        if self.profiler is not None:
+            self.profiler.record(self, category, phase, duration)
         return self.sim.now
 
     # -- accounting ---------------------------------------------------------
 
+    def account(self, category: str, ticks: int, phase: Optional[str] = None) -> None:
+        """Charge already-elapsed held-core time (busy-wait accounting).
+
+        For paths that held the core across a wait and know the elapsed
+        ticks after the fact (e.g. spinning on DMA completion) — the single
+        accounting point shared by the category counters and the profiler.
+        """
+        self.counters.add(category, ticks)
+        if self.profiler is not None:
+            self.profiler.record(self, category, phase, ticks)
+
     def reset_counters(self) -> None:
         """Start a fresh measurement window at the current time."""
         self.counters = BusyCounters(window_start=self.sim.now)
+        if self.profiler is not None:
+            self.profiler.on_reset(self)
 
     def busy_fraction(self, category: Optional[str] = None) -> float:
         """Busy fraction of this core over the current window."""

@@ -29,6 +29,9 @@ class StreamUsage:
     user_pct: float
     driver_pct: float
     bh_pct: float
+    #: simulated length of the steady-state measurement window, in ticks
+    #: (what the percentages are relative to; profilers reuse it)
+    window_ticks: int = 0
 
     @property
     def total_pct(self) -> float:
@@ -77,4 +80,5 @@ def run_stream_usage(tb: "Testbed", size: int, iterations: int = 12,
         user_pct=usage.get("user", 0.0),
         driver_pct=usage.get("driver", 0.0),
         bh_pct=usage.get("bh", 0.0),
+        window_ticks=elapsed,
     )

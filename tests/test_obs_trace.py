@@ -1,0 +1,159 @@
+"""Tests for trace recording bounds and the Perfetto trace_events export."""
+
+import json
+
+import pytest
+
+from repro.obs.scenarios import FIG56_SIZE, run_fig56_scenario
+from repro.obs.trace import (
+    export_trace_events,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace,
+)
+from repro.simkernel.scheduler import Simulator
+from repro.simkernel.tracing import TraceRecorder
+
+pytestmark = pytest.mark.obs
+
+
+class TestRingBuffer:
+    def test_cap_drops_oldest_and_counts(self):
+        rec = TraceRecorder(Simulator(), enabled=True, max_spans=3)
+        for i in range(5):
+            rec.record("lane", f"s{i}", i * 10, i * 10 + 5)
+        assert len(rec.spans) == 3
+        assert [s.label for s in rec.spans] == ["s2", "s3", "s4"]
+        assert rec.dropped_spans == 2
+
+    def test_set_max_spans_shrink_counts_evictions(self):
+        rec = TraceRecorder(Simulator(), enabled=True)
+        for i in range(10):
+            rec.record("lane", f"s{i}", i, i + 1)
+        rec.set_max_spans(4)
+        assert len(rec.spans) == 4
+        assert [s.label for s in rec.spans] == ["s6", "s7", "s8", "s9"]
+        assert rec.dropped_spans == 6
+
+    def test_disabled_records_nothing(self):
+        rec = TraceRecorder(Simulator(), enabled=False, max_spans=2)
+        rec.record("lane", "x", 0, 1)
+        rec.instant("lane", "y")
+        assert not rec.spans and not rec.instants and rec.dropped_spans == 0
+
+    def test_clear_resets_drop_counter(self):
+        rec = TraceRecorder(Simulator(), enabled=True, max_spans=1)
+        rec.record("lane", "a", 0, 1)
+        rec.record("lane", "b", 1, 2)
+        assert rec.dropped_spans == 1
+        rec.clear()
+        assert rec.dropped_spans == 0 and not rec.spans
+
+    def test_instants_have_lanes(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim, enabled=True)
+        rec.instant("NIC", "drop", "fault")
+        assert rec.lanes() == ["NIC"]
+        assert rec.instants[0].at == sim.now
+
+
+class TestExport:
+    def test_single_recorder_export_is_valid(self):
+        rec = TraceRecorder(Simulator(), enabled=True)
+        rec.record("CPU#0", "work", 1000, 3000, "bh")
+        rec.record("I/OAT ch0", "Copy#1", 2000, 4000, "dma")
+        rec.instant("NIC", "rx drop", "fault")
+        doc = export_trace_events(rec)
+        assert validate_trace_events(doc) == []
+        phases = sorted({e["ph"] for e in doc["traceEvents"]})
+        assert phases == ["M", "X", "i"]
+
+    def test_lane_to_process_mapping(self):
+        rec = TraceRecorder(Simulator(), enabled=True)
+        rec.record("CPU#0", "a", 0, 1)
+        rec.record("I/OAT ch2", "b", 0, 1)
+        rec.record("wire:link.a2b", "c", 0, 1)
+        rec.record("events", "d", 0, 1)
+        doc = export_trace_events(rec)
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"cores", "dma", "wire", "events"}
+
+    def test_timestamps_are_origin_relative_microseconds(self):
+        rec = TraceRecorder(Simulator(), enabled=True)
+        rec.record("CPU#0", "a", 5_000, 7_000)
+        doc = export_trace_events(rec)
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["ts"] == 0.0 and ev["dur"] == 2.0
+        assert doc["otherData"]["origin_ns"] == 5_000
+
+    def test_namespaced_merge_keeps_runs_apart(self):
+        sim = Simulator()
+        a = TraceRecorder(sim, enabled=True)
+        b = TraceRecorder(sim, enabled=True)
+        a.record("CPU#0", "a", 0, 1)
+        b.record("CPU#0", "b", 0, 1)
+        doc = export_trace_events([("runA", a), ("runB", b)])
+        assert validate_trace_events(doc) == []
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"runA:cores", "runB:cores"}
+
+    def test_dropped_spans_surface_in_other_data(self):
+        rec = TraceRecorder(Simulator(), enabled=True, max_spans=1)
+        rec.record("CPU#0", "a", 0, 1)
+        rec.record("CPU#0", "b", 1, 2)
+        doc = export_trace_events(rec)
+        assert doc["otherData"]["dropped_spans"] == 1
+
+
+class TestValidator:
+    def test_rejects_bad_documents(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": 3}) != []
+        assert validate_trace_events(
+            {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1}]}
+        ) != []
+        assert validate_trace_events(
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                              "ts": 0, "dur": -1}]}
+        ) != []
+        assert validate_trace_events(
+            {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "tid": 1,
+                              "ts": 0, "s": "q"}]}
+        ) != []
+
+    def test_accepts_minimal_document(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0},
+        ]}
+        assert validate_trace_events(doc) == []
+
+
+class TestFig56Scenario:
+    def test_exported_fig5_fig6_trace_passes_schema(self, tmp_path):
+        recorders = [
+            ("fig5-memcpy", run_fig56_scenario(False, size=FIG56_SIZE)),
+            ("fig6-ioat", run_fig56_scenario(True, size=FIG56_SIZE)),
+        ]
+        doc = export_trace_events(recorders)
+        assert validate_trace_events(doc) == []
+        path = write_trace(doc, tmp_path / "fig56.json")
+        assert validate_trace_file(path) == []
+        loaded = json.loads(path.read_text())
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        # 80 KiB = 10 large fragments: both runs show the wire and the BH;
+        # only the I/OAT run has DMA-lane copies
+        assert len(spans) >= 40
+        procs = {e["args"]["name"] for e in loaded["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert "fig6-ioat:dma" in procs
+        assert "fig5-memcpy:dma" not in procs
+
+    def test_scenario_respects_span_cap(self):
+        rec = run_fig56_scenario(True, size=FIG56_SIZE, max_spans=8)
+        assert len(rec.spans) == 8
+        assert rec.dropped_spans > 0
+        doc = export_trace_events(rec)
+        assert validate_trace_events(doc) == []
+        assert doc["otherData"]["dropped_spans"] == rec.dropped_spans
