@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.ethernet.driver import SoftirqEngine
 from repro.ethernet.nic import Nic
 from repro.ethernet.skbuff import SkbuffPool
+from repro.health.breaker import HostHealth
 from repro.ioat.api import IoatDmaApi
 from repro.ioat.engine import IoatEngine
 from repro.memory.buffers import AddressSpace
@@ -79,6 +80,10 @@ class Host:
         for channel in self.ioat_engine.channels:
             channel.trace = self.trace
 
+        #: per-channel I/OAT circuit breakers (repro.health, DESIGN.md §12);
+        #: wires itself onto every channel's ``health`` hook
+        self.health = HostHealth(self)
+
         #: per-host metrics registry: every component publishes its counters
         #: here; :func:`repro.core.counters.collect_counters` snapshots it
         self.metrics = MetricsRegistry()
@@ -108,6 +113,7 @@ class Host:
         reg.counter("trace", "trace_dropped_spans",
                     lambda: self.trace.dropped_spans,
                     "spans evicted by the recorder's ring-buffer cap")
+        self.health.register_metrics(reg)
 
     # -- topology helpers ---------------------------------------------------
 

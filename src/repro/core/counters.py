@@ -31,6 +31,12 @@ def collect_counters(stack: "OmxStack") -> dict[str, int]:
     return stack.host.metrics.snapshot()
 
 
+def collect_health(stack: "OmxStack") -> dict[str, int]:
+    """Snapshot just the health-supervision counters (breaker transitions,
+    keepalives, peer deaths, busy signals) — the degradation dashboard."""
+    return stack.host.metrics.snapshot(component="health")
+
+
 def render_counters(stack: "OmxStack", title: str = "") -> str:
     """Human-readable counter dump."""
     counters = collect_counters(stack)

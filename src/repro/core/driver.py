@@ -24,8 +24,10 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.core.errors import DeliveryFailed, PullAborted, RemoteAborted
 from repro.core.offload import OffloadManager
-from repro.core.pull import PullHandle
+from repro.core.pull import PullHandle, handles_for_peer
 from repro.core.reliability import RxSession, TxSession
+from repro.health.backpressure import BackoffPolicy, BusyGate
+from repro.health.liveness import PeerLivenessMonitor
 from repro.core.types import EvType, OmxEvent, OmxRequest
 from repro.ethernet.frame import ETHERTYPE_MX, EthernetFrame
 from repro.ethernet.skbuff import Skbuff
@@ -90,6 +92,22 @@ class OmxDriver:
         self._dead_queue: Store = Store(self.sim, name=f"omx{host.host_id}.dead")
         self.sim.daemon(self._dead_daemon(), name=f"omx{host.host_id}-dead")
 
+        # -- health supervision (repro.health, DESIGN.md §12) --
+        health_params = host.platform.health
+        self.liveness = PeerLivenessMonitor(self, health_params)
+        self.busy_gate = BusyGate(self.sim, health_params)
+        self._backoff_policy = BackoffPolicy(
+            base=health_params.backoff_base,
+            max_level=health_params.backoff_max_level,
+            max_delay=health_params.backoff_max_delay,
+            jitter=health_params.backoff_jitter,
+        )
+        #: peers declared dead awaiting kernel-timer-context teardown
+        self._peer_death_queue: Store = Store(
+            self.sim, name=f"omx{host.host_id}.peerdead")
+        self.sim.daemon(self._peer_death_daemon(),
+                        name=f"omx{host.host_id}-peerdead")
+
         host.softirq.register_handler(ETHERTYPE_MX, self._rx_callback)
 
         #: BH header-processing cost; reduced when the NIC uses Direct
@@ -107,6 +125,10 @@ class OmxDriver:
         self.dead_letters = 0
         self.pull_aborts = 0
         self.requests_failed = 0
+        self.busy_rx = 0
+        #: attempts to fail an already-terminal request (watchdog-abort vs
+        #: peer-death race); the first typed error always wins
+        self.duplicate_failures = 0
 
         self._register_metrics(host.metrics)
 
@@ -122,6 +144,12 @@ class OmxDriver:
         reg.counter("omx", "dead_letters", lambda: self.dead_letters)
         reg.counter("omx", "pull_aborts", lambda: self.pull_aborts)
         reg.counter("omx", "requests_failed", lambda: self.requests_failed)
+        reg.counter("omx", "duplicate_failures", lambda: self.duplicate_failures,
+                    "failure attempts on already-terminal requests")
+        reg.counter("health", "busy_rx", lambda: self.busy_rx,
+                    "BUSY backpressure signals received from peers")
+        self.liveness.register_metrics(reg)
+        self.busy_gate.register_metrics(reg)
         register_reliability_metrics(reg, self)
         register_pull_metrics(reg, self)
         self.offload.register_metrics(reg)
@@ -155,8 +183,12 @@ class OmxDriver:
             sess = TxSession(
                 self.sim, peer, self._queue_resend, self.config.retransmit_timeout,
                 on_dead=self._on_dead_letter,
+                backoff=self._backoff_policy,
+                backoff_seed=f"backoff:{self.host.host_id}:{local_ep}:{peer}",
             )
             self._tx_sessions[key] = sess
+        # Outbound reliable traffic means pending work: supervise the peer.
+        self.liveness.ensure_armed()
         return sess
 
     def _rx_session(self, local_ep: int, peer: EndpointAddr) -> RxSession:
@@ -255,6 +287,51 @@ class OmxDriver:
             finally:
                 core.res.release()
 
+    # ------------------------------------------------------------------
+    # peer death: the liveness monitor gave up on a silent peer
+    # ------------------------------------------------------------------
+
+    def _queue_peer_death(self, peer: EndpointAddr, err: Exception) -> None:
+        """Liveness hook (no core held): queue the teardown as BH work."""
+        self._peer_death_queue.put((peer, err))
+
+    def _peer_death_daemon(self) -> Generator:
+        """Kernel-timer context: tear down all state owned by a dead peer."""
+        core = self.host.irq_core
+        while True:
+            peer, err = yield self._peer_death_queue.get()
+            yield core.res.request()
+            try:
+                yield from self._fail_peer(core, peer, err)
+            finally:
+                core.res.release()
+
+    def _fail_peer(self, core: "Core", peer: EndpointAddr, err: Exception) -> Generator:
+        """Deterministically fail every pending request involving ``peer``.
+
+        Pulls are drained through the §III-B offload cleanup (skbuffs behind
+        in-flight I/OAT copies are released, pins dropped); large sends
+        release their pins; TX sessions fail all pending packets so armed
+        ack-watchers fire their typed-failure callbacks.  No NACK/NOTIFY is
+        sent — the peer is dead, there is nobody to tell.
+        """
+        for handle in handles_for_peer(self._pulls, peer):
+            yield from self.offload.cleanup(core, handle.offload)
+            if handle.offload.pending:
+                yield from self.offload.wait_all(core, handle.offload)
+            handle.done = True
+            self._pulls.pop(handle.id, None)
+            if handle.pinned is not None:
+                yield from self.host.regcache.release(core, handle.pinned, "bh")
+            self._fail_request(handle.endpoint, handle.req, err)
+        for msg_id in sorted(m for m, s in self._large_sends.items()
+                             if s.req.peer == peer):
+            yield from self._fail_large_send(core, msg_id, err)
+        for (local_ep, p), sess in sorted(self._tx_sessions.items()):
+            if p == peer:
+                self.dead_letters += sess.fail_all(err)
+        return None
+
     def _fail_large_send(self, core: "Core", msg_id: int,
                          err: Exception) -> Generator:
         """Release a dead rendezvous' pins and fail its request loudly."""
@@ -268,8 +345,16 @@ class OmxDriver:
         return None
 
     def _fail_request(self, ep: "OmxEndpoint", req: OmxRequest, err: Exception) -> None:
-        """Surface a typed error on ``req`` and complete it via the ring."""
-        if req is None or req.done or req.error is not None:
+        """Surface a typed error on ``req`` and complete it via the ring.
+
+        Idempotent: the pull watchdog and the peer-death teardown can race
+        to fail the same request; the first typed error wins and later
+        attempts only count ``duplicate_failures``.
+        """
+        if req is None:
+            return
+        if req.done or req.error is not None:
+            self.duplicate_failures += 1
             return
         req.error = err
         self.requests_failed += 1
@@ -380,6 +465,9 @@ class OmxDriver:
             )
             handle.last_progress = self.sim.now
             self._pulls[handle.id] = handle
+            # A pull holds peer state without reliable TX traffic of its
+            # own: make sure the liveness monitor watches the sender.
+            self.liveness.ensure_armed()
             if total == 0:
                 yield from self._finish_pull(core, ep, handle, category="driver")
             else:
@@ -531,6 +619,9 @@ class OmxDriver:
         else:
             yield from core.busy(self._bh_base_cost, "bh", phase="bh_header")
 
+        # Any arrival is proof of life for the sending endpoint.
+        self.liveness.heard(pkt.src)
+
         # Piggybacked cumulative ack.
         if pkt.ack_seqnum >= 0 and pkt.ptype is not PktType.ACK:
             sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))
@@ -545,6 +636,14 @@ class OmxDriver:
         if pkt.ptype in (PktType.TINY, PktType.SMALL, PktType.MEDIUM_FRAG):
             yield from self._bh_eager(core, ep, skb, pkt)
         elif pkt.ptype is PktType.RNDV:
+            if self.busy_gate.pulls_pressured(len(self._pulls)):
+                # Pull-handle pool over the watermark: refuse *before* the
+                # rx session sees the seqnum, so the sender's (reliable)
+                # RNDV retransmits later — under BUSY backoff — instead of
+                # the message being half-accepted.
+                self._signal_busy(ep, pkt.src)
+                skb.free()
+                return None
             self._bh_reliable_ctl(ep, pkt, lambda: ep.post_event(OmxEvent(
                 EvType.RNDV, peer=pkt.src, match_info=pkt.match_info,
                 msg_id=pkt.msg_id, msg_len=pkt.msg_len,
@@ -570,9 +669,30 @@ class OmxDriver:
             if sess is not None:
                 sess.on_ack(pkt.ack_seqnum)
             skb.free()
+        elif pkt.ptype is PktType.KEEPALIVE:
+            # Unsequenced proof-of-life probe: force a re-ack so the silent
+            # half of the conversation hears us again.
+            self.liveness.keepalives_rx += 1
+            self._rx_session(ep.addr.endpoint, pkt.src).note_keepalive()
+            skb.free()
+        elif pkt.ptype is PktType.BUSY:
+            # Receiver backpressure: escalate this session's backoff.
+            self.busy_rx += 1
+            sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))
+            if sess is not None:
+                sess.note_busy()
+            skb.free()
         else:
             skb.free()
         return None
+
+    def _signal_busy(self, ep: "OmxEndpoint", peer: EndpointAddr) -> None:
+        """Queue an unsequenced BUSY to ``peer`` (rate-limited per peer)."""
+        if not self.busy_gate.params.backpressure_enabled:
+            return
+        if not self.busy_gate.should_signal(peer):
+            return
+        self._ctl_queue.put(MxPacket(ptype=PktType.BUSY, src=ep.addr, dst=peer))
 
     def _bh_reliable_ctl(self, ep: "OmxEndpoint", pkt: MxPacket, deliver) -> None:
         """Dedup-filtered delivery of a sequenced control packet."""
@@ -602,10 +722,16 @@ class OmxDriver:
                 return None
         slot = ep.ring.acquire_slot()
         if slot is None:
-            # Ring exhausted: drop; the sender's retransmission recovers it.
+            # Ring exhausted: drop; the sender's retransmission recovers it
+            # — but tell it to back off instead of hammering the timeout.
             self.ring_drops += 1
+            self._signal_busy(ep, pkt.src)
             skb.free()
             return None
+        if self.busy_gate.ring_pressured(ep.ring):
+            # Low-watermark early warning: the fragment is delivered, but
+            # senders should slow their retransmission pressure.
+            self._signal_busy(ep, pkt.src)
         if pkt.data_length:
             if self.config.ignore_bh_copy:
                 pass  # Fig. 3 prediction mode: skip the BH copy

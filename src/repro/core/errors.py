@@ -64,3 +64,22 @@ class RemoteAborted(TransferError):
         self.peer = peer
         self.msg_id = msg_id
         super().__init__(f"peer {peer} aborted transfer of msg {msg_id}")
+
+
+class PeerDead(TransferError):
+    """Sustained silence from a peer beyond the liveness deadline.
+
+    Declared by :class:`repro.health.liveness.PeerLivenessMonitor` when a
+    peer we have pending work with stays silent past ``peer_dead_timeout``
+    (well beyond retransmit exhaustion).  Fails *every* pending request to
+    that peer deterministically and releases their skbuffs/pins.
+    """
+
+    def __init__(self, peer: "EndpointAddr", silent_ns: int, pending: int = 0):
+        self.peer = peer
+        self.silent_ns = silent_ns
+        self.pending = pending
+        super().__init__(
+            f"peer {peer.host}:{peer.endpoint} declared dead after "
+            f"{silent_ns} ns of silence ({pending} request(s) failed)"
+        )

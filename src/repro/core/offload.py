@@ -80,6 +80,10 @@ class OffloadManager:
         self.starvation_fallbacks = 0
         #: copies redone on the CPU because the DMA channel aborted them
         self.fallback_copies = 0
+        #: offloads refused because the channel's circuit breaker is open
+        self.breaker_shortcircuits = 0
+        #: messages steered off a tripped channel at assignment time
+        self.breaker_reroutes = 0
 
     def register_metrics(self, reg) -> None:
         """Publish offload decisions into a metrics registry."""
@@ -94,20 +98,46 @@ class OffloadManager:
         reg.counter("offload", "offload_fallback_copies",
                     lambda: self.fallback_copies,
                     "copies redone on the CPU after a channel failure")
+        reg.counter("offload", "offload_breaker_shortcircuits",
+                    lambda: self.breaker_shortcircuits,
+                    "offloads refused while the channel breaker was open")
+        reg.counter("offload", "offload_breaker_reroutes",
+                    lambda: self.breaker_reroutes,
+                    "messages assigned away from a tripped channel")
 
     # -- policy -------------------------------------------------------------
 
     def new_message_state(self) -> MessageOffloadState:
         """Per-message context; channels are assigned round-robin per
-        message (§V: one channel per message)."""
-        return MessageOffloadState(self.host.ioat_engine.allocate_channel())
+        message (§V: one channel per message), steering around channels
+        whose circuit breaker is open."""
+        channel = self.host.ioat_engine.allocate_channel()
+        health = self.host.health
+        if health is not None and not health.allows_offload(channel):
+            for candidate in self.host.ioat_engine.channels:
+                if health.allows_offload(candidate):
+                    channel = candidate
+                    self.breaker_reroutes += 1
+                    break
+        return MessageOffloadState(channel)
 
     def should_offload(self, state: MessageOffloadState, msg_len: int, frag_len: int) -> bool:
-        """The §IV-A thresholds."""
+        """The §IV-A thresholds, gated by the channel's circuit breaker."""
         if not self.config.ioat_enabled or self.config.ignore_bh_copy:
             return False
+        health = self.host.health
         if state.channel.failed:
-            # Dead channel: stop submitting to it, copy on the CPU instead.
+            # Dead channel: stop submitting to it, copy on the CPU instead —
+            # and feed the refusal into the breaker's failure history, so a
+            # channel that stays dead trips to OPEN and recovery is probed
+            # (the abort events alone only cover copies in flight at the
+            # moment of failure).
+            if health is not None:
+                health.record_fallback(state.channel)
+            return False
+        if health is not None and not health.allows_offload(state.channel):
+            # Breaker open: memcpy-only until a half-open probe re-opens it.
+            self.breaker_shortcircuits += 1
             return False
         if msg_len < self.config.ioat_min_msg or frag_len < self.config.ioat_min_frag:
             return False
@@ -207,3 +237,8 @@ class OffloadManager:
         state.offloaded_bytes -= entry.length
         state.copied_bytes += entry.length
         self.fallback_copies += 1
+        # Thread the failure into the channel's breaker: without this,
+        # repeated heals never accumulate history and a permanently dead
+        # channel keeps being picked, healed, and picked again forever.
+        if self.host.health is not None:
+            self.host.health.record_fallback(state.channel)

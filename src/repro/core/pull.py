@@ -116,6 +116,13 @@ class PullHandle:
         return self.received >= self.total
 
 
+def handles_for_peer(pulls: dict, peer: EndpointAddr) -> list[PullHandle]:
+    """Live pull handles owned by ``peer``, id-ordered (deterministic
+    teardown order for the peer-death path)."""
+    return sorted((h for h in pulls.values() if h.peer == peer and not h.done),
+                  key=lambda h: h.id)
+
+
 def register_pull_metrics(reg, driver) -> None:
     """Publish pull-engine gauges into a metrics registry.
 
@@ -126,3 +133,6 @@ def register_pull_metrics(reg, driver) -> None:
     reg.gauge("pull", "active_large_sends", lambda: len(driver._large_sends))
     reg.gauge("pull", "pull_retransmits",
               lambda: sum(h.retransmits for h in driver._pulls.values()))
+    reg.gauge("pull", "pull_bytes_outstanding",
+              lambda: sum(h.total - h.received for h in driver._pulls.values()),
+              "bytes still owed to live pulls (backpressure pressure gauge)")

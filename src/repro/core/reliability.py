@@ -27,10 +27,12 @@ Design (modelled on the real liback machinery):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.core.errors import DeliveryFailed
+from repro.health.backpressure import BackoffPolicy
 from repro.mx.wire import EndpointAddr, MxPacket
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,13 +59,22 @@ class TxSession:
 
     def __init__(self, sim: "Simulator", peer: EndpointAddr,
                  resend: Callable[[MxPacket], None], timeout: int,
-                 on_dead: Optional[Callable[[MxPacket, DeliveryFailed], None]] = None):
+                 on_dead: Optional[Callable[[MxPacket, DeliveryFailed], None]] = None,
+                 backoff: Optional[BackoffPolicy] = None,
+                 backoff_seed: str = ""):
         self.sim = sim
         self.peer = peer
         self.resend = resend
         self.timeout = timeout
         #: driver hook fired once per dead-lettered packet (typed failure)
         self.on_dead = on_dead
+        #: exponential-backoff shape applied on receiver BUSY signals; the
+        #: jitter RNG is string-seeded so the curve is deterministic per seed
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._backoff_rng = random.Random(backoff_seed or f"backoff:{peer}")
+        self.backoff_level = 0
+        self._backoff_until = 0
+        self.busy_backoffs = 0
         self.next_seq = 0
         self.pending: dict[int, _Pending] = {}
         self._timer_running = False
@@ -86,10 +97,44 @@ class TxSession:
 
     def on_ack(self, ack_seqnum: int) -> None:
         """Cumulative ack: everything <= ack_seqnum is delivered."""
-        for seq in [s for s in self.pending if s <= ack_seqnum]:
+        acked = [s for s in self.pending if s <= ack_seqnum]
+        if acked:
+            # Forward progress: the peer is keeping up again.
+            self.backoff_level = 0
+            self._backoff_until = 0
+        for seq in acked:
             del self.pending[seq]
             for cb, _fail in self._ack_watchers.pop(seq, ()):
                 cb()
+
+    def note_busy(self) -> None:
+        """The peer signalled overload (BUSY): hold off retransmissions.
+
+        Each BUSY escalates the backoff level; the retransmit timer will not
+        fire before ``_backoff_until``, replacing the retransmission hammer
+        with an exponentially spaced, seeded-jitter probe schedule.
+        """
+        self.backoff_level = min(self.backoff_level + 1, self.backoff.max_level)
+        delay = self.backoff.delay(self.backoff_level, self._backoff_rng)
+        self._backoff_until = max(self._backoff_until, self.sim.now + delay)
+        self.busy_backoffs += 1
+
+    def fail_all(self, err: Exception) -> int:
+        """Peer declared dead: fail every pending packet with ``err``.
+
+        Watchers' failure callbacks fire (typed error); the ``on_dead`` hook
+        does not — the caller is the driver itself, tearing down peer state
+        wholesale rather than one dead letter at a time.
+        """
+        seqs = sorted(self.pending)
+        for seq in seqs:
+            entry = self.pending.pop(seq)
+            self.dead.append(entry.packet)
+            self.dead_letters += 1
+            for _cb, on_fail in self._ack_watchers.pop(seq, ()):
+                if on_fail is not None:
+                    on_fail(err)
+        return len(seqs)
 
     def watch_ack(self, seqnum: int, cb: Callable[[], None],
                   on_fail: Optional[Callable[[DeliveryFailed], None]] = None) -> None:
@@ -121,6 +166,9 @@ class TxSession:
         while self.pending:
             now = self.sim.now
             deadline = min(e.last_sent for e in self.pending.values()) + self.timeout
+            if self._backoff_until > deadline:
+                # BUSY backoff: no retransmission before the backoff expires.
+                deadline = self._backoff_until
             if deadline > now:
                 # Sleep to the *earliest* per-packet deadline.  The old
                 # fixed-period sleep retransmitted a packet stamped
@@ -202,6 +250,14 @@ class RxSession:
         self._dup_since_ack = False
         return self.cumulative
 
+    def note_keepalive(self) -> None:
+        """An unsequenced KEEPALIVE arrived: the peer asks for proof of life.
+
+        Force the delayed ack even when ``cumulative`` has not advanced —
+        sustained mutual silence usually means our last ack was lost."""
+        self._dup_since_ack = True
+        self._schedule_ack()
+
     def collect_counters(self) -> dict[str, int]:
         """Per-session reliability counters (``omx_counters`` analogue)."""
         return {
@@ -244,3 +300,6 @@ def register_reliability_metrics(reg, driver) -> None:
                 lambda: sum(s.duplicates for s in driver._rx_sessions.values()))
     reg.counter("reliability", "reacks",
                 lambda: sum(s.reacks for s in driver._rx_sessions.values()))
+    reg.counter("reliability", "busy_backoffs",
+                lambda: sum(s.busy_backoffs for s in driver._tx_sessions.values()),
+                "BUSY-triggered sender backoff episodes")

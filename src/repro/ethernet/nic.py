@@ -68,6 +68,9 @@ class Nic:
         self.tx_frames = 0
         self.rx_dropped = 0
         self.rx_crc_errors = 0
+        #: lowest rx-ring fill level ever observed — the backpressure
+        #: headroom metric (0 means the ring actually ran dry)
+        self.rx_ring_min_fill = params.rx_ring_size
         self._fill_ring()
 
     def register_metrics(self, reg) -> None:
@@ -78,6 +81,9 @@ class Nic:
                     "frames dropped: exhausted rx ring or no driver")
         reg.counter("nic", "nic_rx_crc_errors", lambda: self.rx_crc_errors,
                     "frames dropped in hardware with a bad FCS")
+        reg.gauge("nic", "nic_rx_ring_min_fill",
+                  lambda: self.rx_ring_min_fill,
+                  "lowest observed rx-ring fill (backpressure headroom)")
 
     # -- receive ----------------------------------------------------------
 
@@ -108,6 +114,8 @@ class Nic:
                 self.trace.instant("NIC", "rx ring exhausted: drop", "fault")
             return
         skb = self._rx_ring.popleft()
+        if len(self._rx_ring) < self.rx_ring_min_fill:
+            self.rx_ring_min_fill = len(self._rx_ring)
         payload = frame.payload
         data = getattr(payload, "gather_data", None)
         if data is not None:

@@ -39,7 +39,15 @@ from repro.faults.plan import (
     LinkFaultSpec,
     NicFaultSpec,
     SwitchFaultSpec,
+    soak_plans,
     standard_plans,
+)
+from repro.faults.soak import (
+    LivelockError,
+    SoakSpec,
+    run_soak,
+    run_soak_suite,
+    soak_suite,
 )
 
 __all__ = [
@@ -48,12 +56,18 @@ __all__ = [
     "FaultPlan",
     "IoatFaultSpec",
     "LinkFaultSpec",
+    "LivelockError",
     "NicFaultSpec",
+    "SoakSpec",
     "SwitchFaultSpec",
     "arm_plan",
     "quick_campaign_spec",
     "run_campaign",
     "run_cell",
+    "run_soak",
+    "run_soak_suite",
+    "soak_plans",
+    "soak_suite",
     "standard_plans",
     "write_report",
 ]

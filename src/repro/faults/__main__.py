@@ -1,13 +1,18 @@
-"""Run a fault-injection campaign from the command line.
+"""Run a fault-injection campaign (or soak) from the command line.
 
 ::
 
     python -m repro.faults                      # quick matrix -> results/
     python -m repro.faults --seed s2 --iters 5
     python -m repro.faults --out /tmp/faults.json --jobs 4
+    python -m repro.faults --soak               # chained-fault soak suite
+    python -m repro.faults --soak --seed s7 --duration 120
 
 The report is JSON with sorted keys: running the same seed twice produces
-byte-identical files (the determinism the campaign tests assert).
+byte-identical files (the determinism the campaign and soak tests assert).
+``--soak`` swaps the one-fault-per-cell matrix for the chained soak suite
+(fail→recover I/OAT flaps, flapping links, incast bursts) with periodic
+livelock/leak checkpoints — see DESIGN.md §12.
 """
 
 from __future__ import annotations
@@ -40,6 +45,41 @@ def _write_cell_traces(report: dict, out_dir: str) -> int:
     return written
 
 
+def _soak_main(args) -> int:
+    """``--soak``: the chained-fault suite with checkpointed invariants."""
+    from repro.faults.soak import SOAK_DEADLINE, run_soak_suite
+    from repro.units import ms
+
+    deadline = ms(args.duration) if args.duration is not None else SOAK_DEADLINE
+    seed = args.seed if args.seed != "campaign" else "soak"
+    report = run_soak_suite(seed, iters=args.iters * 2, deadline=deadline)
+    out = args.out
+    if out == "results/faults_campaign.json":
+        out = "results/faults_soak.json"
+    path = write_report(report, out)
+
+    t = Table(f"fault soak (seed={seed!r})",
+              ["run", "completed", "failed", "hung", "breaker trips",
+               "reopens", "sanitizer"])
+    for run in report["runs"]:
+        t.add_row(
+            f'{run["soak"]}/{run["workload"]}/{run["size"] // 1024}K',
+            run["outcomes"]["completed"],
+            run["outcomes"]["failed"],
+            run["outcomes"]["hung"],
+            run["health"].get("breaker_trips", 0),
+            run["health"].get("breaker_reopens", 0),
+            "DIRTY" if run["sanitizer"] else "clean",
+        )
+    print(t.render())
+    totals = report["totals"]
+    print(f"report: {path}")
+    print(f"totals: {totals['completed']} completed, {totals['failed']} "
+          f"failed (typed), {totals['hung']} hung")
+    bad = totals["hung"] or report["sanitizer_dirty_runs"]
+    return 1 if bad else 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.faults",
@@ -56,7 +96,16 @@ def main(argv=None) -> int:
                     help="disable the sweep cache")
     ap.add_argument("--trace", default=None, metavar="DIR",
                     help="also write one Perfetto trace per cell into DIR")
+    ap.add_argument("--soak", action="store_true",
+                    help="run the chained-fault soak suite instead of the "
+                         "campaign matrix")
+    ap.add_argument("--duration", type=int, default=None, metavar="MS",
+                    help="soak deadline in simulated milliseconds "
+                         "(default 60)")
     args = ap.parse_args(argv)
+
+    if args.soak:
+        return _soak_main(args)
 
     spec = quick_campaign_spec(args.seed)
     if args.iters != spec.iters:

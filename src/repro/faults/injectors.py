@@ -10,7 +10,8 @@ wires it into the corresponding hook:
 * :class:`SwitchEgressFault` answers ``drop_egress(port, frame, now)``;
 * I/OAT faults are scheduled as bare simulator callbacks that call
   :meth:`~repro.ioat.channel.DmaChannel.fail` /
-  :meth:`~repro.ioat.channel.DmaChannel.stall` at their trigger time.
+  :meth:`~repro.ioat.channel.DmaChannel.stall` /
+  :meth:`~repro.ioat.channel.DmaChannel.recover` at their trigger time.
 
 Every injector counts what it actually did, and :class:`ArmedPlan`
 aggregates those counts into the campaign report's "injected" section —
@@ -52,6 +53,14 @@ class RandomFrameFaults:
         if index < spec.first_index:
             return DELIVER
         if spec.last_index is not None and index > spec.last_index:
+            return DELIVER
+        if spec.windows and not any(
+            start <= now < stop for start, stop in spec.windows
+        ):
+            # Flapping link, currently healthy.  No draw: the schedule
+            # inside each bad window must not depend on how many healthy
+            # frames crossed the link before it — draws are a function of
+            # the in-window frame sequence, windows just gate them.
             return DELIVER
         r = self.rng.random()
         edge = spec.drop_rate
@@ -193,6 +202,8 @@ def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
         for ch in channels:
             if spec.action == "fail":
                 tb.sim.call_at(spec.at, ch.fail)
+            elif spec.action == "recover":
+                tb.sim.call_at(spec.at, ch.recover)
             else:
                 duration = spec.duration
                 tb.sim.call_at(

@@ -41,6 +41,11 @@ class LinkFaultSpec:
     first_index: int = 0
     last_index: Optional[int] = None
     port: Optional[int] = None
+    #: optional (start, stop) *tick* windows; when non-empty, faults only
+    #: fire inside them (a "flapping" link).  The RNG still draws exactly
+    #: once per in-index-window frame so the schedule stays a pure
+    #: function of (seed, frame index) regardless of timing windows.
+    windows: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -62,21 +67,24 @@ class SwitchFaultSpec:
 
 @dataclass(frozen=True)
 class IoatFaultSpec:
-    """I/OAT channel fault: hard failure or transient stall at time ``at``.
+    """I/OAT channel fault: failure, transient stall, or recovery at ``at``.
 
     ``channel=None`` hits every channel of the node's engine — the
     whole-chipset failure the memcpy-fallback path must survive.
+    ``action="recover"`` un-fails a previously failed channel (chipset
+    reset), which is what lets soak plans chain fail→recover cycles and
+    exercise the circuit breaker's half-open probe path.
     """
 
     node: int
-    action: str = "fail"  # "fail" | "stall"
+    action: str = "fail"  # "fail" | "stall" | "recover"
     at: int = us(100)
-    #: stall duration (ticks); ignored for "fail"
+    #: stall duration (ticks); ignored for "fail"/"recover"
     duration: int = us(200)
     channel: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.action not in ("fail", "stall"):
+        if self.action not in ("fail", "stall", "recover"):
             raise ValueError(f"unknown ioat fault action {self.action!r}")
 
 
@@ -177,3 +185,64 @@ def standard_plans(seed: str = "campaign") -> list[FaultPlan]:
 #: multi-fragment medium, just-over-rendezvous, and a pull big enough to
 #: keep several blocks in flight
 QUICK_SIZES = (1 * KiB, 16 * KiB, 48 * KiB, 256 * KiB)
+
+
+def soak_plans(seed: str = "soak") -> list[FaultPlan]:
+    """The soak library: long chained fault schedules (DESIGN.md §12).
+
+    Where the quick campaign fires one fault per cell, these chain whole
+    degradation arcs — fail→recover cycles that walk the circuit breaker
+    through trip/half-open/reopen, flapping links whose loss comes in
+    windows, and bursty fan-in congestion — so the health layer's steady
+    state (not just its first reaction) is what gets soaked.
+    """
+    from repro.units import ms
+
+    return [
+        # Receiver I/OAT chipset flaps: stall, hard-fail, recover, fail
+        # again, recover again.  Every fail leg must trip the per-channel
+        # breakers to memcpy; every recover leg must let a half-open
+        # probe re-open them.
+        FaultPlan(
+            name="ioat-flap", seed=seed,
+            ioat=(
+                IoatFaultSpec(node=1, action="stall", at=us(60),
+                              duration=us(300)),
+                IoatFaultSpec(node=1, action="fail", at=us(500)),
+                IoatFaultSpec(node=1, action="recover", at=ms(2)),
+                IoatFaultSpec(node=1, action="fail", at=ms(3)),
+                IoatFaultSpec(node=1, action="recover", at=ms(4)),
+            ),
+        ),
+        # Flapping link: heavy bidirectional loss inside several windows,
+        # clean in between.  Retransmission must ride through each flap
+        # and the backoff state must decay once the link heals.
+        FaultPlan(
+            name="link-flap", seed=seed,
+            links=(
+                LinkFaultSpec(direction_a2b=True, drop_rate=0.40,
+                              windows=((us(60), us(600)),
+                                       (us(900), ms(1) + us(500)),
+                                       (ms(2), ms(2) + us(500)))),
+                LinkFaultSpec(direction_a2b=False, drop_rate=0.30,
+                              windows=((us(150), us(700)),
+                                       (ms(1) + us(400), ms(2)))),
+            ),
+        ),
+        # Incast bursts: the fan-in receiver's NIC ring starves in
+        # windows while its I/OAT fails and recovers underneath —
+        # receive-side degradation plus fan-in retransmit storms, the
+        # combination backpressure exists to keep survivable.
+        FaultPlan(
+            name="incast-burst", seed=seed,
+            nics=(NicFaultSpec(
+                node=0,
+                windows=((us(100), us(260)), (us(700), us(900)),
+                         (ms(1) + us(400), ms(1) + us(600))),
+            ),),
+            ioat=(
+                IoatFaultSpec(node=0, action="fail", at=us(400)),
+                IoatFaultSpec(node=0, action="recover", at=ms(1) + us(200)),
+            ),
+        ),
+    ]

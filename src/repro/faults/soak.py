@@ -1,0 +1,255 @@
+"""Soak mode: long seeded fault campaigns with periodic invariant checks.
+
+Where a campaign cell (:mod:`repro.faults.campaign`) fires one fault and
+asks "did every transfer terminate?", a soak run chains whole degradation
+arcs — I/OAT fail→recover cycles, flapping links, incast bursts — over a
+longer horizon and additionally checks *while running* that the stack is
+making progress and not accumulating resources:
+
+* a checkpoint daemon wakes every ``checkpoint_interval`` ticks and
+  records (non-terminal transfers, outstanding skbuffs, net pins,
+  retransmissions, frames moved);
+* if nothing moved — no transfer reached a terminal state and no frame
+  crossed any NIC — for ``stall_limit`` consecutive checkpoints, the run
+  aborts with :class:`LivelockError`.  The reliability layer's timeout
+  ladder (dead-letter ≈4 ms, pull abort ≈16 ms, peer-dead 20 ms) turns
+  every stuck request terminal well inside that budget, so a trip really
+  is a livelock, not patience running out;
+* at the end the usual contract holds: zero hung transfers, runtime
+  sanitizers clean, and the report — checkpoints included — is a pure
+  function of (spec, seed), so running the same seed twice produces
+  byte-identical JSON.
+
+The stock suite (:func:`soak_suite`) pairs each plan from
+:func:`repro.faults.plan.soak_plans` with the workload that stresses it:
+``ioat-flap`` under a large-message stream (pull + offload path, so the
+circuit breakers trip and re-open), ``link-flap`` under pingpong
+(retransmission and backoff decay), ``incast-burst`` under switched
+fan-in (receive backpressure).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.faults.injectors import arm_plan
+from repro.faults.plan import FaultPlan, soak_plans
+from repro.units import KiB, ms
+
+#: simulated-time horizon per soak run; generous — runs end early once
+#: every transfer is terminal and the demand-armed daemons disarm
+SOAK_DEADLINE = ms(60)
+
+#: event budget (runaway guard, same role as the campaign's)
+SOAK_MAX_EVENTS = 60_000_000
+
+#: checkpoint cadence (simulated ticks)
+CHECKPOINT_INTERVAL = ms(2)
+
+#: consecutive no-progress checkpoints tolerated before declaring livelock
+#: (30 ms of wall-silence vs. a 20 ms worst-case timeout ladder)
+STALL_LIMIT = 15
+
+
+class LivelockError(AssertionError):
+    """The soak checkpoint daemon saw no progress for too long."""
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """One soak run: a workload driven through one chained fault plan."""
+
+    name: str
+    workload: str
+    size: int
+    iters: int
+    plan: FaultPlan
+    deadline: int = SOAK_DEADLINE
+    checkpoint_interval: int = CHECKPOINT_INTERVAL
+    stall_limit: int = STALL_LIMIT
+
+
+def soak_suite(seed: str = "soak", iters: int = 6) -> list[SoakSpec]:
+    """The stock soak suite: every plan from the soak library, each under
+    the workload built to stress it."""
+    plans = {p.name: p for p in soak_plans(seed)}
+    return [
+        # The stream gets extra iterations so offload traffic is still
+        # flowing when the plan's recover legs land — a breaker can only
+        # re-open if something asks for the channel afterwards.
+        SoakSpec(name="ioat-flap", workload="stream", size=256 * KiB,
+                 iters=iters + 4, plan=plans["ioat-flap"]),
+        SoakSpec(name="link-flap", workload="pingpong", size=16 * KiB,
+                 iters=iters, plan=plans["link-flap"]),
+        SoakSpec(name="incast-burst", workload="incast", size=128 * KiB,
+                 iters=max(2, iters - 2), plan=plans["incast-burst"]),
+    ]
+
+
+def _nonterminal(transfers) -> int:
+    return sum(1 for t in transfers.values() if t.classify()[0] == "hung")
+
+
+def _checkpoint_daemon(tb, spec: SoakSpec, transfers, checkpoints: list):
+    """Periodic invariant sampling; raises LivelockError on sustained
+    no-progress.  Self-terminates once every transfer is terminal, so it
+    never keeps the event heap alive past quiescence."""
+    stalled = {"count": 0, "frames": -1, "terminal": -1}
+
+    def frames_moved() -> int:
+        return sum(h.nic.rx_frames + h.nic.tx_frames for h in tb.hosts)
+
+    def proc():
+        while True:
+            yield tb.sim.timeout(spec.checkpoint_interval)
+            open_transfers = _nonterminal(transfers)
+            frames = frames_moved()
+            checkpoints.append({
+                "t": tb.sim.now,
+                "nonterminal": open_transfers,
+                "skbuffs": sum(h.skb_pool.outstanding for h in tb.hosts),
+                "net_pins": sum(
+                    h.pinner.pin_calls - h.pinner.unpin_calls
+                    for h in tb.hosts
+                ),
+                "frames": frames,
+                "breaker_open": sum(
+                    h.health.open_channels for h in tb.hosts
+                ),
+            })
+            if open_transfers == 0:
+                return
+            terminal = len(transfers) - open_transfers
+            if frames == stalled["frames"] and terminal == stalled["terminal"]:
+                stalled["count"] += 1
+                if stalled["count"] >= spec.stall_limit:
+                    raise LivelockError(
+                        f"soak {spec.name!r}: no frame moved and no "
+                        f"transfer terminated across {stalled['count']} "
+                        f"checkpoints ({open_transfers} still open at "
+                        f"t={tb.sim.now})"
+                    )
+            else:
+                stalled["count"] = 0
+                stalled["frames"] = frames
+                stalled["terminal"] = terminal
+
+    tb.sim.daemon(proc(), name=f"soak-checkpoint-{spec.name}")
+
+
+def run_soak(spec: SoakSpec, trace: bool = False) -> dict:
+    """Run one soak spec to quiescence; returns its JSON-able report.
+
+    The report mirrors a campaign cell's (outcomes / failures / injected /
+    counters / sanitizer), plus the checkpoint trail and a ``health``
+    section with just the supervision counters (breaker trips and
+    re-opens, keepalives, peer deaths, busy signals).
+    """
+    from repro.analysis.sanitizers import Sanitizer
+    from repro.core.counters import collect_counters, collect_health
+    from repro.faults.campaign import (
+        TRACE_MAX_SPANS,
+        _build_testbed,
+        _workload_incast,
+        _workload_pingpong,
+        _workload_stream,
+    )
+
+    tb = _build_testbed(spec.workload)
+    if trace:
+        for host in tb.hosts:
+            host.trace.enabled = True
+            host.trace.set_max_spans(TRACE_MAX_SPANS)
+    san = Sanitizer()
+    for host in tb.hosts:
+        san.watch_host(host)
+
+    armed = arm_plan(tb, spec.plan)
+    workload = {
+        "stream": _workload_stream,
+        "pingpong": _workload_pingpong,
+        "incast": _workload_incast,
+    }[spec.workload]
+    transfers = workload(tb, spec.size, spec.iters)
+
+    checkpoints: list[dict] = []
+    _checkpoint_daemon(tb, spec, transfers, checkpoints)
+
+    tb.sim.run(until=spec.deadline, max_events=SOAK_MAX_EVENTS)
+
+    outcomes = {"completed": 0, "failed": 0, "hung": 0}
+    failures: dict[str, int] = {}
+    hung_keys = []
+    for key in sorted(transfers):
+        outcome, err = transfers[key].classify()
+        outcomes[outcome] += 1
+        if err is not None:
+            failures[err] = failures.get(err, 0) + 1
+        if outcome == "hung":
+            hung_keys.append(key)
+
+    counters: dict[str, int] = {}
+    health: dict[str, int] = {}
+    for stack in tb.stacks:
+        for key, val in collect_counters(stack).items():
+            counters[key] = counters.get(key, 0) + val
+        for key, val in collect_health(stack).items():
+            health[key] = health.get(key, 0) + val
+    counters.pop("sim_wall_ms", None)
+
+    report = {
+        "soak": spec.name,
+        "workload": spec.workload,
+        "size": spec.size,
+        "iters": spec.iters,
+        "plan": spec.plan.name,
+        "seed": spec.plan.seed,
+        "messages": len(transfers),
+        "outcomes": outcomes,
+        "failures": failures,
+        "hung_keys": hung_keys,
+        "injected": armed.counters(),
+        "checkpoints": checkpoints,
+        "counters": counters,
+        "health": health,
+        "sanitizer": [v.format() for v in san.check()],
+        "end_time": tb.sim.now,
+    }
+    if trace:
+        from repro.obs.trace import export_trace_events
+
+        report["trace_events"] = export_trace_events(
+            [(host.name, host.trace) for host in tb.hosts]
+        )
+    return report
+
+
+def run_soak_suite(seed: str = "soak", iters: int = 6,
+                   deadline: int = SOAK_DEADLINE) -> dict:
+    """Run the whole stock suite under one seed; aggregates like a
+    campaign report.  Byte-identical per seed (sorted-keys JSON)."""
+    runs = []
+    totals = {"completed": 0, "failed": 0, "hung": 0}
+    dirty = []
+    for spec in soak_suite(seed, iters=iters):
+        if deadline != spec.deadline:
+            spec = replace(spec, deadline=deadline)
+        report = run_soak(spec)
+        runs.append(report)
+        for key in totals:
+            totals[key] += report["outcomes"][key]
+        if report["sanitizer"]:
+            dirty.append(spec.name)
+    return {
+        "seed": seed,
+        "iters": iters,
+        "runs": runs,
+        "totals": totals,
+        "sanitizer_dirty_runs": dirty,
+    }
+
+
+def report_json(report: dict) -> str:
+    """Canonical byte-stable serialization (the determinism contract)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

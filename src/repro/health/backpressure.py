@@ -1,0 +1,85 @@
+"""Receiver busy-signals and the sender backoff they trigger.
+
+Without backpressure an overloaded receiver (exhausted eager ring, too many
+active pulls) silently drops traffic and the reliability layer hammers it
+with retransmissions every ``retransmit_timeout`` — exactly the incast
+pathology.  With it, the receiver sends an unsequenced ``BUSY`` control
+packet (rate-limited per peer) and the sender's :class:`~repro.core.
+reliability.TxSession` backs off exponentially with *seeded* jitter, so the
+backoff curve is deterministic per seed (the soak reports stay
+byte-identical) while distinct senders still desynchronise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.units import ms, us
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff shape applied by senders on BUSY.
+
+    Delay at level L is ``min(base << (L-1), max_delay)`` plus a jitter term
+    drawn from the session's seeded RNG in ``[0, jitter * delay)``.
+    """
+
+    base: int = us(200)
+    max_level: int = 6
+    max_delay: int = ms(8)
+    jitter: float = 0.25
+
+    def delay(self, level: int, rng: random.Random) -> int:
+        level = max(1, min(level, self.max_level))
+        d = min(self.base << (level - 1), self.max_delay)
+        if self.jitter > 0.0:
+            d += int(d * self.jitter * rng.random())
+        return d
+
+
+class BusyGate:
+    """Receiver-side decision: is this host overloaded, and may it say so?
+
+    BUSY notifications are rate-limited per peer (``busy_min_interval``)
+    so one overload episode costs one control frame per sender, not one per
+    dropped fragment.
+    """
+
+    def __init__(self, sim, params):
+        self.sim = sim
+        self.params = params
+        self._last_busy: dict = {}
+        # statistics
+        self.busy_signalled = 0
+        self.busy_suppressed = 0
+
+    def ring_pressured(self, ring) -> bool:
+        """Eager ring at/below the low watermark (or already exhausted)."""
+        if not self.params.backpressure_enabled:
+            return False
+        return ring.free_slots <= self.params.ring_low_watermark
+
+    def pulls_pressured(self, active_pulls: int) -> bool:
+        """Pull-handle population crossed the high watermark."""
+        if not self.params.backpressure_enabled:
+            return False
+        return active_pulls >= self.params.max_active_pulls
+
+    def should_signal(self, peer) -> bool:
+        """Rate-limit gate; records the decision either way."""
+        now = self.sim.now
+        last = self._last_busy.get(peer)
+        if last is not None and now - last < self.params.busy_min_interval:
+            self.busy_suppressed += 1
+            return False
+        self._last_busy[peer] = now
+        self.busy_signalled += 1
+        return True
+
+    def register_metrics(self, reg) -> None:
+        reg.counter("health", "busy_signalled", lambda: self.busy_signalled,
+                    "BUSY control packets sent to overloading peers")
+        reg.counter("health", "busy_suppressed", lambda: self.busy_suppressed,
+                    "BUSY notifications elided by per-peer rate limiting")

@@ -51,6 +51,10 @@ class DmaChannel:
         #: optional :class:`repro.analysis.sanitizers.Sanitizer` hook; when
         #: set, it is notified of submissions and completion polls
         self.observer = None
+        #: optional :class:`repro.health.breaker.ChannelBreaker`; notified of
+        #: every aborted descriptor and stall so repeated faults trip the
+        #: channel to memcpy-only instead of being healed one copy at a time
+        self.health = None
         #: hard failure: the channel aborts all work (see :meth:`fail`)
         self.failed = False
         self.fail_detail = ""
@@ -67,6 +71,7 @@ class DmaChannel:
         self.bytes_copied = 0
         self.busy_ticks = 0
         self.stalls = 0
+        self.recoveries = 0
 
     def register_metrics(self, reg) -> None:
         """Publish per-channel statistics (engine sums are registered by
@@ -124,6 +129,11 @@ class DmaChannel:
     def queue_depth(self) -> int:
         return len(self.ring)
 
+    @property
+    def stalled(self) -> bool:
+        """True while a :meth:`stall` window is holding off descriptor issue."""
+        return self.sim.now < self._stalled_until
+
     def copy_failed(self, last_cookie: int, n_descriptors: int) -> bool:
         """Did any descriptor of a copy ending at ``last_cookie`` abort?"""
         if not self._aborted_cookies:
@@ -170,12 +180,35 @@ class DmaChannel:
         if self.trace is not None and self.trace.enabled:
             self.trace.instant(f"I/OAT ch{self.index}",
                                f"stall {duration} ns", "fault")
+        if self.health is not None:
+            self.health.on_stall(self)
+
+    def recover(self, detail: str = "") -> None:
+        """Undo :meth:`fail`: accept and execute new descriptors again.
+
+        Aborted descriptors stay aborted (their error already surfaced);
+        only *new* submissions run.  The host side does not trust this
+        blindly — the circuit breaker keeps refusing the channel until a
+        half-open probe copy succeeds.
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.fail_detail = ""
+        self.recoveries += 1
+        if self.trace is not None and self.trace.enabled:
+            self.trace.instant(f"I/OAT ch{self.index}",
+                               f"RECOVER{': ' + detail if detail else ''}", "fault")
+        self._busy = False
+        self._service_next()
 
     def _abort_desc(self, desc: CopyDescriptor) -> None:
         desc.failed = True
         desc.completed_at = self.sim.now
         self._aborted_cookies.add(desc.cookie)
         self.descriptors_failed += 1
+        if self.health is not None:
+            self.health.on_descriptor_failed(self)
 
     # -- engine ------------------------------------------------------------
 

@@ -48,6 +48,8 @@ class IoatEngine:
                     lambda: self.descriptors_failed,
                     "descriptors aborted by channel failure")
         reg.counter("ioat", "ioat_stalls", lambda: self.stalls)
+        reg.counter("ioat", "ioat_recoveries", lambda: self.recoveries,
+                    "channels brought back after a hard failure")
         for channel in self.channels:
             channel.register_metrics(reg)
 
@@ -82,3 +84,7 @@ class IoatEngine:
     @property
     def stalls(self) -> int:
         return sum(c.stalls for c in self.channels)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(c.recoveries for c in self.channels)

@@ -44,6 +44,10 @@ class PktType(IntEnum):
     ACK = auto()
     #: intra-simulation liback for eager reliability
     NACK = auto()
+    #: unsequenced proof-of-life probe after sustained peer silence
+    KEEPALIVE = auto()
+    #: unsequenced receiver-overload signal (backpressure: senders back off)
+    BUSY = auto()
 
 
 #: per-type wire header size in bytes (MX-like compact headers)
@@ -57,6 +61,8 @@ HEADER_SIZE: dict[PktType, int] = {
     PktType.NOTIFY: 24,
     PktType.ACK: 16,
     PktType.NACK: 16,
+    PktType.KEEPALIVE: 16,
+    PktType.BUSY: 16,
 }
 
 

@@ -140,6 +140,32 @@ GOLDENS = [
         def handler(sim, core):
             sim.process(cleanup(core))
     """, set()),
+    ("hlt001_channel_fail", """
+        def sabotage(ch):
+            ch.fail("chipset gone")
+    """, {"HLT001"}),
+    ("hlt001_attr_chain_fail", """
+        def sabotage(state):
+            state.channel.fail()
+    """, {"HLT001"}),
+    ("hlt001_should_offload_rederived", """
+        def decide(mgr, state, n):
+            if mgr.should_offload(state, n, n):
+                return "dma"
+            return "memcpy"
+    """, {"HLT001"}),
+    ("hlt001_process_fail_ok", """
+        class Proc:
+            def fail(self, err):
+                self.error = err
+
+            def die(self, err):
+                self.fail(err)
+    """, set()),
+    ("hlt001_event_fail_ok", """
+        def propagate(ev, err):
+            ev.fail(err)
+    """, set()),
 ]
 
 
@@ -157,6 +183,16 @@ def test_every_rule_has_a_firing_golden():
     """A registered rule without a positive golden is untested — fail loudly."""
     covered = set().union(*(e for _, _, e in GOLDENS))
     assert covered == set(all_rules())
+
+
+def test_hlt001_sanctioned_paths_skipped():
+    """The injector layer and the health package own these APIs — the same
+    source that fires elsewhere stays quiet under their paths."""
+    src = "def arm(ch):\n    ch.fail('planned')\n"
+    assert {f.code for f in lint_source(src, "src/repro/core/driver.py")} == {"HLT001"}
+    for path in ("src/repro/faults/injectors.py", "src/repro/health/breaker.py",
+                 "src/repro/ioat/channel.py"):
+        assert lint_source(src, path) == []
 
 
 def test_noqa_suppression():

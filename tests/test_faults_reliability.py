@@ -250,3 +250,27 @@ class TestAdversarialProperty:
         total = cell["outcomes"]["completed"] + cell["outcomes"]["failed"]
         assert total == cell["messages"]
         assert cell["sanitizer"] == []
+
+
+class TestSoakProperty:
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        which=st.sampled_from((0, 1, 2)),
+    )
+    def test_soak_specs_terminate_clean_under_any_seed(self, seed, which):
+        """The soak invariant, hypothesis-driven: any seeded chained-fault
+        schedule (I/OAT flapping, link flapping, incast bursts) drains to
+        all-terminal transfers with zero resource leaks — the seed may move
+        *which* messages fail, never *whether* the run converges."""
+        from repro.faults import run_soak, soak_suite
+
+        spec = soak_suite(seed=f"prop-{seed}", iters=3)[which]
+        report = run_soak(spec)
+        assert report["outcomes"]["hung"] == 0
+        assert report["hung_keys"] == []
+        terminal = report["outcomes"]["completed"] + report["outcomes"]["failed"]
+        assert terminal == report["messages"]
+        assert report["sanitizer"] == []
+        # The checkpoint trail closed with everything drained.
+        assert report["checkpoints"][-1]["nonterminal"] == 0
