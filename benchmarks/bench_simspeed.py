@@ -205,20 +205,19 @@ def _time_tree(src_path: Path, figures: list) -> "dict | None":
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-def measure_obs_overhead(figures=None) -> "dict | None":
-    """Back-to-back comparison: pre-obs tree vs HEAD, disabled observability.
+def measure_tree_overhead(ref: str, figures: list) -> "dict | None":
+    """Back-to-back comparison: the tree at ``ref`` vs HEAD.
 
     Both sides run in fresh subprocesses (serial, cold cache) so neither
     inherits the other's warmed allocator or bytecode cache unevenly.
     Returns None when the baseline tree cannot be produced.
     """
-    figures = figures or OBS_FIGURES
-    with tempfile.TemporaryDirectory(prefix="obs-base-") as tmp:
+    with tempfile.TemporaryDirectory(prefix="tree-base-") as tmp:
         tar_path = Path(tmp) / "baseline.tar"
         try:
             subprocess.run(
                 ["git", "-C", str(ROOT), "archive", "-o", str(tar_path),
-                 OBS_BASELINE_REF, "src"],
+                 ref, "src"],
                 check=True, capture_output=True, timeout=60,
             )
         except (OSError, subprocess.SubprocessError):
@@ -231,7 +230,7 @@ def measure_obs_overhead(figures=None) -> "dict | None":
     head = _time_tree(ROOT / "src", figures)
     if head is None:
         return None
-    report = {"baseline_ref": OBS_BASELINE_REF, "figures": {}}
+    report = {"baseline_ref": ref, "figures": {}}
     for name in figures:
         b, h = base[name], head[name]
         report["figures"][name] = {
@@ -244,6 +243,10 @@ def measure_obs_overhead(figures=None) -> "dict | None":
             if b["events"] else 1.0,
         }
     return report
+
+
+def measure_obs_overhead(figures=None) -> "dict | None":
+    return measure_tree_overhead(OBS_BASELINE_REF, figures or OBS_FIGURES)
 
 
 def test_obs_zero_overhead():
@@ -276,6 +279,54 @@ def test_obs_zero_overhead():
         )
 
 
+# ---------------------------------------------------------------------------
+# tie-break zero-overhead gate
+# ---------------------------------------------------------------------------
+
+#: last commit before the pluggable tie-break / race-detector PR
+TIEBREAK_BASELINE_REF = "c300c84"
+
+#: with no policy installed the push path must be the historical one, so
+#: the wall budget is the same 5 % noise band as the obs gate — but the
+#: event counts must match the pre-PR tree EXACTLY (bit-identical FIFO)
+TIEBREAK_WALL_MAX_RATIO = 1.05
+TIEBREAK_WALL_EPSILON_S = 0.5
+TIEBREAK_FIGURES = ["fig3", "fig9"]
+
+
+def test_tiebreak_zero_overhead():
+    """Default FIFO is bit-identical and free: same events, same wall.
+
+    The pluggable tie-break only shadows ``_push`` on simulators given a
+    policy; the default path keeps the class method and the historical
+    ``(time, seq)`` heap tuples.  Identical event counts against the
+    pre-PR tree prove the simulations are the same simulations; the wall
+    ratio bounds the cost of the (unused) machinery at noise level.
+    """
+    report = measure_tree_overhead(TIEBREAK_BASELINE_REF, TIEBREAK_FIGURES)
+    if report is None:
+        import pytest
+
+        pytest.skip(f"cannot produce baseline tree {TIEBREAK_BASELINE_REF} "
+                    "(no git history?)")
+    print()
+    for name, f in report["figures"].items():
+        print(f"  {name:6s} wall {f['baseline_wall_s']:7.3f}s -> "
+              f"{f['wall_s']:7.3f}s (x{f['wall_ratio']:.3f})  "
+              f"events {f['baseline_events']:,} -> {f['events']:,}")
+        assert f["events"] == f["baseline_events"], (
+            f"{name}: the default tie-break changed the simulation "
+            f"({f['baseline_events']:,} -> {f['events']:,} events; FIFO must "
+            "be bit-identical to the pre-PR scheduler)"
+        )
+        budget = (f["baseline_wall_s"] * TIEBREAK_WALL_MAX_RATIO
+                  + TIEBREAK_WALL_EPSILON_S)
+        assert f["wall_s"] <= budget, (
+            f"{name}: disabled tie-break machinery costs wall time "
+            f"({f['baseline_wall_s']}s -> {f['wall_s']}s, budget {budget:.3f}s)"
+        )
+
+
 def test_simspeed_quick_suite():
     """The acceptance gate: >=2x vs pre-PR, inside the wall budget."""
     report = run_suite()
@@ -301,3 +352,4 @@ def test_simspeed_quick_suite():
 if __name__ == "__main__":
     test_simspeed_quick_suite()
     test_obs_zero_overhead()
+    test_tiebreak_zero_overhead()

@@ -1,17 +1,24 @@
-"""Command-line lint driver.
+"""Command-line driver: lint sweep and schedule-race detection.
 
 Usage::
 
     python -m repro.analysis src/repro tests
     repro-lint --select SKB001,DMA001 src/repro
+    repro-lint --format json src/repro
     repro-lint --list-rules
+    python -m repro.analysis --races --seeds 5
+    python -m repro.analysis --races --workloads pingpong,incast --no-bisect
 
 Exit status 0 when clean, 1 when any finding survives (suppression via
-``# noqa: CODE`` pragmas), 2 on usage errors.
+``# noqa: CODE`` pragmas) or any race permutation diverges, 2 on usage
+errors.  ``--format json`` emits a machine-readable document on stdout
+(one object with ``findings``/``files`` for lint, ``reports`` for races)
+so CI wrappers never have to parse the human rendering.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from argparse import ArgumentParser
 from pathlib import Path
@@ -23,7 +30,8 @@ from repro.analysis.lint import all_rules, lint_paths
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = ArgumentParser(
         prog="repro-lint",
-        description="simulator-aware lint for the Open-MX/I-OAT repro",
+        description="simulator-aware lint and race detection for the "
+                    "Open-MX/I-OAT repro",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -37,6 +45,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--races", action="store_true",
+        help="run the schedule-race detector over the standard workloads "
+             "instead of linting",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="race mode: number of tie-break permutations per scenario "
+             "(seeds 1..N; default 3)",
+    )
+    parser.add_argument(
+        "--workloads", metavar="NAMES",
+        help="race mode: comma-separated workload subset "
+             "(default: pingpong,stream,incast)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=4096,
+        help="race mode: message size in bytes (default 4096)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=2,
+        help="race mode: messages per direction (default 2)",
+    )
+    parser.add_argument(
+        "--no-bisect", action="store_true",
+        help="race mode: skip the minimal-tie-flip bisection on divergence",
+    )
     args = parser.parse_args(argv)
 
     registry = all_rules()
@@ -44,6 +83,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for code in sorted(registry):
             print(f"{code}  {registry[code].summary}")
         return 0
+
+    if args.races:
+        return _run_races(args)
 
     select = None
     if args.select:
@@ -54,12 +96,82 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     findings, n_files = lint_paths([Path(p) for p in args.paths], select)
-    for finding in findings:
-        print(finding.format())
-    status = "FAILED" if findings else "ok"
-    print(f"{status}: {len(findings)} finding(s) in {n_files} file(s)",
-          file=sys.stderr)
+    if args.format == "json":
+        doc = {
+            "files": n_files,
+            "findings": [
+                {"code": f.code, "message": f.message, "path": f.path,
+                 "line": f.line, "col": f.col}
+                for f in findings
+            ],
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding.format())
+        status = "FAILED" if findings else "ok"
+        print(f"{status}: {len(findings)} finding(s) in {n_files} file(s)",
+              file=sys.stderr)
     return 1 if findings else 0
+
+
+def _run_races(args) -> int:
+    from repro.analysis.races import standard_reports
+    from repro.faults.campaign import WORKLOADS
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        unknown = [w for w in workloads if w not in WORKLOADS]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    reports = standard_reports(
+        seeds=range(1, args.seeds + 1), workloads=workloads,
+        size=args.size, iters=args.iters, bisect=not args.no_bisect,
+    )
+    bad = [r for r in reports if not r.ok]
+    if args.format == "json":
+        doc = {"reports": [
+            {
+                "scenario": r.scenario,
+                "seeds": list(r.seeds),
+                "runs": r.runs,
+                "ok": r.ok,
+                "divergences": [
+                    {
+                        "seed": d.seed,
+                        "counter_diffs": {h: {m: list(v) for m, v in ds.items()}
+                                          for h, ds in d.counter_diffs.items()},
+                        "digest_hosts": d.digest_hosts,
+                        "end_times": list(d.end_times),
+                        "outcome_diffs": {k: list(v) for k, v
+                                          in d.outcome_diffs.items()},
+                        "flip_index": d.flip_index,
+                        "diverge_at": d.diverge_at,
+                        "baseline_window": [list(e) for e in d.baseline_window],
+                        "variant_window": [list(e) for e in d.variant_window],
+                    }
+                    for d in r.divergences
+                ],
+            }
+            for r in reports
+        ]}
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    else:
+        for r in reports:
+            print(r.format())
+        status = "FAILED" if bad else "ok"
+        total = sum(r.runs for r in reports)
+        print(f"{status}: {len(bad)} divergent scenario(s) of {len(reports)} "
+              f"({total} run(s))", file=sys.stderr)
+    return 1 if bad else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,8 +21,12 @@ Adding a rule::
         code = "ABC001"
         summary = "one-line description"
 
-        def check(self, module: ModuleSource):
+        def check(self, module: ModuleSource, project=None):
             yield module.finding(self.code, node, "message")
+
+Rules that need to see across modules use ``project`` — the
+:class:`~repro.analysis.dataflow.Project` built over the whole sweep
+(symbol table, call graph, taint reachability).
 """
 
 from __future__ import annotations
@@ -31,7 +35,20 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dataflow import Project
 
 __all__ = [
     "Finding",
@@ -228,12 +245,20 @@ def _mentions(node: ast.AST, name: str) -> bool:
 
 
 class Rule:
-    """Base class: subclass, set ``code``/``summary``, implement check()."""
+    """Base class: subclass, set ``code``/``summary``, implement check().
+
+    ``check`` receives the module under scrutiny plus the
+    :class:`~repro.analysis.dataflow.Project` built over the whole sweep,
+    so rules can resolve calls across modules (call graph, taint
+    reachability).  Single-module rules simply ignore ``project``; when a
+    lone source string is linted the project contains just that module.
+    """
 
     code: str = ""
     summary: str = ""
 
-    def check(self, module: ModuleSource) -> Iterable[Finding]:
+    def check(self, module: ModuleSource,
+              project: Optional["Project"] = None) -> Iterable[Finding]:
         raise NotImplementedError
 
 
@@ -262,22 +287,39 @@ def all_rules() -> Dict[str, Type[Rule]]:
 # ---------------------------------------------------------------------------
 
 
-def lint_source(source: str, path: str = "<string>",
-                select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint one source string; ``select`` restricts to the given codes."""
-    registry = all_rules()
-    codes = list(select) if select else sorted(registry)
-    unknown = [c for c in codes if c not in registry]
-    if unknown:
-        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
-    module = ModuleSource(path, source)
+def _lint_module(module: ModuleSource, project: "Project",
+                 codes: Sequence[str], registry) -> List[Finding]:
     findings: List[Finding] = []
     for code in codes:
-        for finding in registry[code]().check(module):
+        for finding in registry[code]().check(module, project):
             if not module.suppressed(finding):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
+
+
+def _select_codes(select: Optional[Sequence[str]], registry) -> List[str]:
+    codes = list(select) if select else sorted(registry)
+    unknown = [c for c in codes if c not in registry]
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+    return codes
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one source string; ``select`` restricts to the given codes.
+
+    The dataflow project contains just this module, so cross-module rules
+    degrade to their local approximation.
+    """
+    from repro.analysis.dataflow import Project
+
+    registry = all_rules()
+    codes = _select_codes(select, registry)
+    module = ModuleSource(path, source)
+    project = Project([module])
+    return _lint_module(module, project, codes, registry)
 
 
 def lint_file(path: Path, select: Optional[Sequence[str]] = None) -> List[Finding]:
@@ -295,10 +337,24 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 def lint_paths(paths: Iterable[Path],
                select: Optional[Sequence[str]] = None) -> Tuple[List[Finding], int]:
-    """Lint files/directories; returns (findings, files scanned)."""
+    """Lint files/directories as ONE project; returns (findings, files).
+
+    Every file is parsed up front and the dataflow engine builds the
+    project-wide symbol table and call graph over all of them, so rules
+    see across module boundaries (a wall-clock call two hops away from a
+    sim process is still two *resolved* hops).  Findings stay grouped by
+    file, in path order.
+    """
+    from repro.analysis.dataflow import Project
+
+    registry = all_rules()
+    codes = _select_codes(select, registry)
+    modules = [
+        ModuleSource(str(file), file.read_text(encoding="utf-8"))
+        for file in iter_python_files(paths)
+    ]
+    project = Project(modules)
     findings: List[Finding] = []
-    n = 0
-    for file in iter_python_files(paths):
-        n += 1
-        findings.extend(lint_file(file, select))
-    return findings, n
+    for module in modules:
+        findings.extend(_lint_module(module, project, codes, registry))
+    return findings, len(modules)

@@ -16,6 +16,15 @@ cookie, or pinned page into a test failure with acquire-site backtraces.
 Tests that want the sanitizer object itself (e.g. to call ``check(strict=
 True)`` or read per-channel pending counts) can accept the ``sanitizer``
 fixture explicitly.
+
+``@pytest.mark.racecheck`` parametrizes a test over same-timestamp
+tie-break policies (FIFO plus seeded shuffles): every simulator the test
+builds picks the active policy up through
+``Simulator.default_tiebreak_factory``, so a test that asserts exact
+counters under every policy has *demonstrated* its scenario is
+schedule-race free.  Session start also runs a 3-permutation race
+quick-check of the pingpong workload next to the lint sweep
+(``REPRO_SKIP_RACECHECK=1`` skips it).
 """
 
 from __future__ import annotations
@@ -49,6 +58,29 @@ def pytest_sessionstart(session):
             "(set REPRO_SKIP_LINT=1 to bypass):\n"
             + "\n".join(f.format() for f in findings)
         )
+    _race_quickcheck()
+
+
+def _race_quickcheck():
+    """Tier-1 gate: a 3-permutation race check of the pingpong workload.
+
+    The cheapest scenario in the standard corpus, no bisection — the point
+    is an early, loud abort when a schedule race slips into the tree, not a
+    diagnosis (run ``python -m repro.analysis --races`` for that).
+    ``REPRO_SKIP_RACECHECK=1`` skips it.
+    """
+    if os.environ.get("REPRO_SKIP_RACECHECK"):
+        return
+    from repro.analysis.races import check_workload
+
+    report = check_workload("pingpong", size=2048, iters=1,
+                            seeds=(1, 2, 3), bisect=False)
+    if not report.ok:
+        raise pytest.UsageError(
+            "schedule-race quick-check failed: pingpong diverges under "
+            "permuted same-timestamp tie-breaks (set REPRO_SKIP_RACECHECK=1 "
+            "to bypass):\n" + report.format()
+        )
 
 
 def pytest_configure(config):
@@ -66,6 +98,38 @@ def pytest_configure(config):
         "faults: fault-injection campaign tests (repro.faults); "
         "deselect with -m 'not faults'",
     )
+    config.addinivalue_line(
+        "markers",
+        "racecheck: run this test under FIFO plus seeded-shuffle "
+        "same-timestamp tie-breaks; its assertions must hold under all",
+    )
+
+
+#: tie-break policies a ``racecheck``-marked test runs under
+_RACECHECK_POLICIES = ("fifo", "shuffle:1", "shuffle:2")
+
+
+def pytest_generate_tests(metafunc):
+    if metafunc.definition.get_closest_marker("racecheck") is None:
+        return
+    metafunc.fixturenames.append("_racecheck_policy")
+    metafunc.parametrize("_racecheck_policy", _RACECHECK_POLICIES,
+                         ids=lambda p: p.replace(":", ""))
+
+
+@pytest.fixture
+def _racecheck_policy(request):
+    """Install the parametrized tie-break policy for the test's duration."""
+    from repro.simkernel.tiebreak import SeededShuffleTieBreak, default_tiebreak
+
+    spec = request.param
+    if spec == "fifo":
+        factory = None
+    else:
+        seed = spec.split(":", 1)[1]
+        factory = lambda: SeededShuffleTieBreak(seed)  # noqa: E731
+    with default_tiebreak(factory):
+        yield spec
 
 
 @pytest.fixture

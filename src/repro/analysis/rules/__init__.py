@@ -6,6 +6,17 @@ create ``<code>.py`` here with a ``@register_rule`` class and import it
 below.
 """
 
-from repro.analysis.rules import dma001, gen001, hlt001, sim001, skb001, unit001
+from repro.analysis.rules import (
+    det002,
+    dma001,
+    gen001,
+    hlt001,
+    ord001,
+    race001,
+    sim001,
+    skb001,
+    unit001,
+)
 
-__all__ = ["skb001", "dma001", "sim001", "unit001", "gen001", "hlt001"]
+__all__ = ["skb001", "dma001", "sim001", "unit001", "gen001", "hlt001",
+           "race001", "det002", "ord001"]

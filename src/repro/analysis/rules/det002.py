@@ -1,0 +1,82 @@
+"""DET002: wall-clock / unseeded-RNG taint reachable from a sim process.
+
+SIM001 catches ``time.time()`` written textually inside a generator; it is
+blind the moment the call moves one function away::
+
+    def _now_ms():                    # innocent-looking helper
+        return int(time.time() * 1e3)
+
+    def _stamp(pkt):
+        pkt.ts = _now_ms()            # hop 2
+
+    def sender(ep, core):             # sim process — SIM001 sees nothing
+        _stamp(pkt)
+        yield from ep.isend(...)
+
+DET002 closes that hole with the dataflow engine's call graph: every call
+site classified as nondeterministic (the SIM001 tables, shared via
+:func:`repro.analysis.rules.sim001.nondeterministic_call`) taints its
+enclosing function, taint propagates backward over *resolved* call edges,
+and any **generator** function whose call site reaches a taint is flagged
+— with the full call chain in the message, because a two-hop finding
+without the path is unactionable.  Direct in-generator calls stay SIM001's
+report (one finding per bug, at its most local spelling).
+
+The graph only follows resolved edges (same-module names, ``self.``
+methods, import-alias chains), so a finding is never a duck-typing guess;
+the cost is that taint through stored callables is invisible — which is
+what the dynamic race detector is for.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.lint import Finding, ModuleSource, Rule, register_rule
+from repro.analysis.rules.sim001 import nondeterministic_call
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dataflow import CallSite, Project, TaintResult
+
+
+def _project_taint(project: "Project") -> "TaintResult":
+    """The project-wide taint fixpoint, computed once per sweep."""
+    cached = getattr(project, "_det002_taint", None)
+    if cached is None:
+        def predicate(site: "CallSite") -> Optional[str]:
+            if site.dotted is None:
+                return None
+            return nondeterministic_call(site.dotted, site.node)
+
+        cached = project.taint(predicate)
+        project._det002_taint = cached
+    return cached
+
+
+@register_rule
+class TransitiveNondeterminismRule(Rule):
+    code = "DET002"
+    summary = "nondeterministic call reachable from a sim process via the call graph"
+
+    def check(self, module: ModuleSource,
+              project: Optional["Project"] = None) -> Iterator[Finding]:
+        if project is None:
+            return
+        info = project.module_for(module)
+        if info is None:
+            return
+        taint = _project_taint(project)
+        for fi in info.functions.values():
+            if not fi.is_generator:
+                continue
+            for site in fi.calls:
+                target = site.resolved
+                if target is None or not taint.reaches(target):
+                    continue
+                chain = taint.path(target)
+                reason = taint.reason(target)
+                yield module.finding(
+                    self.code, site.node,
+                    f"sim process '{fi.name}' reaches a nondeterministic "
+                    f"call through {' -> '.join(chain)}: {reason}",
+                )

@@ -31,7 +31,8 @@ class DmaCookieLeakRule(Rule):
     code = "DMA001"
     summary = "DMA cookie from a submit is never polled, waited, or stored"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
         for fn in module.functions():
             for node in own_nodes(fn):
                 if not isinstance(node, ast.Assign) or len(node.targets) != 1:

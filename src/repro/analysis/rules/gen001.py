@@ -7,15 +7,18 @@ its body — so a bare statement like ``self.cleanup(core, state)`` where
 This is the single most insidious bug class in a generator-coroutine
 simulator: everything still runs, the numbers are just wrong.
 
-Scope is same-module resolution only: bare calls to module-level generator
-functions, to generator methods via ``self.``, and to nested generator
-defs.  Cross-module calls are out of reach of a single-file pass.
+Resolution runs on the dataflow engine's project symbol table: bare calls
+to module-level generator functions, to generator methods via ``self.``,
+to nested generator defs, *and* — when the sweep lints the whole tree as
+one project — to generator functions imported from any other swept module
+(``from repro.x import proc; proc(core)`` is just as silently wrong as the
+local spelling).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from repro.analysis.lint import (
     Finding,
@@ -26,13 +29,17 @@ from repro.analysis.lint import (
     register_rule,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dataflow import Project
+
 
 @register_rule
 class UndrivenGeneratorRule(Rule):
     code = "GEN001"
     summary = "generator function invoked as a bare statement (never driven)"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project: Optional["Project"] = None) -> Iterator[Finding]:
         tree = module.tree
         module_gens = {
             n.name for n in tree.body
@@ -40,10 +47,11 @@ class UndrivenGeneratorRule(Rule):
         }
         # module-level bare calls
         for stmt in tree.body:
-            yield from self._check_stmt(module, stmt, module_gens, set(), "module scope")
+            yield from self._check_stmt(module, project, stmt, module_gens,
+                                        set(), "module scope")
         for node in tree.body:
             if isinstance(node, ast.FunctionDef):
-                yield from self._check_fn(module, node, module_gens, set())
+                yield from self._check_fn(module, project, node, module_gens, set())
             elif isinstance(node, ast.ClassDef):
                 method_gens = {
                     m.name for m in node.body
@@ -51,25 +59,44 @@ class UndrivenGeneratorRule(Rule):
                 }
                 for m in node.body:
                     if isinstance(m, ast.FunctionDef):
-                        yield from self._check_fn(module, m, module_gens, method_gens)
+                        yield from self._check_fn(module, project, m,
+                                                  module_gens, method_gens)
 
-    def _check_fn(self, module: ModuleSource, fn: ast.FunctionDef,
-                  module_gens: Set[str], method_gens: Set[str]) -> Iterator[Finding]:
+    def _check_fn(self, module: ModuleSource, project: Optional["Project"],
+                  fn: ast.FunctionDef, module_gens: Set[str],
+                  method_gens: Set[str]) -> Iterator[Finding]:
         local_gens = {
             n.name for n in own_nodes(fn)
             if isinstance(n, ast.FunctionDef) and is_generator(n)
         }
         callable_gens = module_gens | local_gens
         for node in own_nodes(fn):
-            yield from self._check_stmt(module, node, callable_gens, method_gens,
-                                        f"'{fn.name}'")
+            yield from self._check_stmt(module, project, node, callable_gens,
+                                        method_gens, f"'{fn.name}'")
             if isinstance(node, ast.FunctionDef):
                 # nested non-generator helpers can still mis-call their siblings
-                yield from self._check_fn(module, node, callable_gens, method_gens)
+                yield from self._check_fn(module, project, node, callable_gens,
+                                          method_gens)
 
-    def _check_stmt(self, module: ModuleSource, node: ast.AST,
-                    callable_gens: Set[str], method_gens: Set[str],
-                    where: str) -> Iterator[Finding]:
+    def _imported_generator(self, module: ModuleSource,
+                            project: Optional["Project"],
+                            func: ast.AST) -> Optional[str]:
+        """Dotted name when ``func`` resolves to a generator in the project."""
+        if project is None:
+            return None
+        dotted = module.dotted_name(func)
+        if dotted is None:
+            return None
+        target = project.functions.get(dotted)
+        if target is not None and target.is_generator:
+            # skip self-module hits: the local passes already cover them
+            if target.module.source.path != module.path:
+                return dotted
+        return None
+
+    def _check_stmt(self, module: ModuleSource, project: Optional["Project"],
+                    node: ast.AST, callable_gens: Set[str],
+                    method_gens: Set[str], where: str) -> Iterator[Finding]:
         if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
             return
         func = node.value.func
@@ -83,6 +110,8 @@ class UndrivenGeneratorRule(Rule):
             and func.attr in method_gens
         ):
             name = f"self.{func.attr}"
+        else:
+            name = self._imported_generator(module, project, func)
         if name is not None:
             yield module.finding(
                 self.code, node,

@@ -63,7 +63,8 @@ class HealthBypassRule(Rule):
     code = "HLT001"
     summary = "channel fail()/should_offload() call bypasses the circuit breaker"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
         norm = module.path.replace("\\", "/")
         if any(part in norm for part in _SANCTIONED):
             return

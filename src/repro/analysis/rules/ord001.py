@@ -1,0 +1,77 @@
+"""ORD001: same-timestamp multi-schedule from an unordered loop.
+
+A loop body executes at one simulated instant.  If each iteration
+schedules work — ``call_soon``, ``call_at``, a ``timeout``, triggering an
+event — every scheduled entry lands at the *same* timestamp, and the only
+thing ordering them is the FIFO tie-break, i.e. the order the loop pushed
+them, i.e. the collection's iteration order.  Over a list that order is
+explicit and reviewable; over a dict or set it is whatever the runtime
+populated, and the schedule silently inherits it.
+
+This is RACE001's timed half: RACE001 covers callback *registration* and
+loop-bound callable invocation, ORD001 covers *timed scheduling* sinks.
+The split keeps each finding's message actionable and avoids one loop
+double-reporting through the same sink.
+
+The fix is the same: iterate ``sorted(...)`` (the reliability layer's
+retransmit scan is the house example) so the tie order is a pure function
+of the data, not of arrival history.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.lint import Finding, ModuleSource, Rule, register_rule
+from repro.analysis.rules.race001 import _functions_with_class, _walk_body
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dataflow import Project
+
+#: method/function names that enqueue work on the simulator heap at a
+#: fixed time; one call per iteration of a same-instant loop = a pile of
+#: same-timestamp entries ordered only by push order
+TIMED_SINKS = {
+    "call_at",
+    "call_soon",
+    "fire",
+    "schedule",
+    "succeed",
+    "timeout",
+}
+
+
+@register_rule
+class SameTimestampScheduleRule(Rule):
+    code = "ORD001"
+    summary = "same-timestamp scheduling from a loop over an unordered collection"
+
+    def check(self, module: ModuleSource,
+              project: Optional["Project"] = None) -> Iterator[Finding]:
+        from repro.analysis.dataflow import unordered_iters
+
+        for fn, cls in _functions_with_class(module):
+            for loop in unordered_iters(module, fn, cls):
+                for call in _walk_body(loop):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    sink = _timed_sink(call)
+                    if sink is not None:
+                        yield module.finding(
+                            self.code, call,
+                            f"'{sink}()' inside a loop over {loop.what} in "
+                            f"'{fn.name}': every iteration schedules at the "
+                            "same timestamp, so heap order inherits the "
+                            "collection's iteration order (iterate "
+                            "sorted(...) to make the tie order canonical)",
+                        )
+
+
+def _timed_sink(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in TIMED_SINKS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in TIMED_SINKS:
+        return func.id
+    return None

@@ -1,0 +1,130 @@
+"""RACE001: unordered iteration order flowing into the scheduler.
+
+The simulator's only ordering promise is ``(time, seq)`` FIFO: events at
+one timestamp fire in *scheduling* order.  A loop over a dict or set that
+registers callbacks, spawns processes, or schedules work therefore bakes
+the collection's iteration order into the event schedule — and for the
+runtime-populated per-peer tables this codebase is full of (pending
+packets keyed by seqnum, watchers keyed by peer), iteration order is
+*arrival* order, i.e. a function of the very schedule the loop is about
+to extend.  That is exactly the hidden dependency the race detector
+(:mod:`repro.analysis.races`) flushes out dynamically; this rule is its
+static twin.
+
+Two sink classes fire the rule inside an unordered loop (the
+order-stability analysis lives in :mod:`repro.analysis.dataflow`):
+
+* *callback registration / process spawning* — ``add_callback``,
+  ``watch_ack``, ``process``, ``daemon``, ``add_teardown_check``;
+* *invoking a callable bound by the loop itself* — ``for cb, _ in ...:
+  cb()``: the callbacks run in collection order, which is the same hazard
+  one hop earlier.
+
+The fix is canonical order: ``sorted(...)`` over keys, or an explicitly
+insertion-ordered structure whose insertion order is itself deterministic.
+Same-timestamp *timed* scheduling from unordered loops is ORD001's half.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+from repro.analysis.lint import Finding, ModuleSource, Rule, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.dataflow import Project
+
+#: attribute/method names whose call registers ordered work with the
+#: simulator or an event (order of registration = order of execution)
+REGISTRATION_SINKS = {
+    "add_callback",
+    "add_teardown_check",
+    "daemon",
+    "process",
+    "watch_ack",
+}
+
+
+def _loop_bound_callable_calls(body_nodes, targets: Set[str]):
+    """Calls whose callee is a name bound by this loop (or a nested one)."""
+    bound = set(targets)
+    for node in body_nodes:
+        if isinstance(node, ast.For):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+    for node in body_nodes:
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in bound):
+            yield node
+
+
+@register_rule
+class UnorderedScheduleFlowRule(Rule):
+    code = "RACE001"
+    summary = "unordered dict/set iteration order flows into the scheduler"
+
+    def check(self, module: ModuleSource,
+              project: Optional["Project"] = None) -> Iterator[Finding]:
+        from repro.analysis.dataflow import unordered_iters
+
+        for fn, cls in _functions_with_class(module):
+            for loop in unordered_iters(module, fn, cls):
+                body_nodes = list(_walk_body(loop))
+                for call in body_nodes:
+                    if not isinstance(call, ast.Call):
+                        continue
+                    sink = _sink_attr(call)
+                    if sink is not None:
+                        yield module.finding(
+                            self.code, call,
+                            f"'{sink}()' called while iterating {loop.what} "
+                            f"in '{fn.name}': registration order inherits "
+                            "the collection's iteration order (iterate "
+                            "sorted(...) or an insertion-ordered structure)",
+                        )
+                for call in _loop_bound_callable_calls(body_nodes,
+                                                       loop.targets):
+                    yield module.finding(
+                        self.code, call,
+                        f"callable '{call.func.id}' drawn from {loop.what} "
+                        f"is invoked in '{fn.name}' in iteration order — "
+                        "callbacks fire in collection order (iterate "
+                        "sorted(...) first)",
+                    )
+
+
+def _sink_attr(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in REGISTRATION_SINKS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in REGISTRATION_SINKS:
+        return func.id
+    return None
+
+
+def _walk_body(loop) -> Iterator[ast.AST]:
+    """Every node in the loop body (for comprehensions: the element expr)."""
+    if loop.body:
+        for stmt in loop.body:
+            yield from ast.walk(stmt)
+    else:
+        # comprehension: walk the whole expression minus its generators'
+        # iterables (those were the *source*, not the consumption)
+        yield from ast.walk(loop.node)
+
+
+def _functions_with_class(module: ModuleSource):
+    """(function, enclosing class or None) pairs, like module.functions()."""
+    def walk(node: ast.AST, cls):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(module.tree, None)

@@ -11,6 +11,11 @@ which is how every sim process is written in this codebase.
 Seeded ``numpy.random.default_rng(seed)`` is allowed: an explicit seed *is*
 the deterministic way to get pseudo-random workload data (see the NAS IS
 kernel).
+
+This rule is the *local* check: a banned call textually inside the
+generator.  DET002 (:mod:`repro.analysis.rules.det002`) supersedes it at a
+distance — the same taint reached through one or more resolved call-graph
+hops — and shares these tables via :func:`nondeterministic_call`.
 """
 
 from __future__ import annotations
@@ -54,11 +59,30 @@ _BANNED_PREFIXES = {
 }
 
 
-def _is_seeded_default_rng(dotted: str, call: ast.Call) -> bool:
-    return (
-        dotted == "numpy.random.default_rng"
-        and len(call.args) + len(call.keywords) >= 1
-    )
+#: constructors that are deterministic *when seeded*: an explicit seed is
+#: the sanctioned way to get pseudo-randomness in this codebase (seeded
+#: fault plans, backoff jitter, NAS IS keys)
+_SEEDED_CTORS = {"numpy.random.default_rng", "random.Random"}
+
+
+def nondeterministic_call(dotted: str, call: ast.Call) -> "str | None":
+    """Reason ``dotted(...)`` breaks sim determinism, or None if clean.
+
+    The shared classifier behind SIM001 (local) and DET002 (call-graph
+    taint).  Seeded RNG constructions (``random.Random(seed)``,
+    ``numpy.random.default_rng(seed)``) are clean — an explicit seed is
+    the deterministic idiom, and the drawing methods on such instances are
+    attribute calls the resolver never maps back to the ``random`` module.
+    """
+    reason = _BANNED_EXACT.get(dotted)
+    if reason is not None:
+        return reason
+    if dotted in _SEEDED_CTORS and len(call.args) + len(call.keywords) >= 1:
+        return None
+    for prefix, why in _BANNED_PREFIXES.items():
+        if dotted.startswith(prefix):
+            return why
+    return None
 
 
 @register_rule
@@ -66,7 +90,8 @@ class SimBlockingCallRule(Rule):
     code = "SIM001"
     summary = "blocking or nondeterministic call inside a sim-process generator"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
         for fn in module.functions():
             if not is_generator(fn):
                 continue
@@ -76,14 +101,7 @@ class SimBlockingCallRule(Rule):
                 dotted = module.dotted_name(node.func)
                 if dotted is None:
                     continue
-                reason = _BANNED_EXACT.get(dotted)
-                if reason is None:
-                    for prefix, why in _BANNED_PREFIXES.items():
-                        if dotted.startswith(prefix):
-                            if _is_seeded_default_rng(dotted, node):
-                                break
-                            reason = why
-                            break
+                reason = nondeterministic_call(dotted, node)
                 if reason is not None:
                     yield module.finding(
                         self.code, node,

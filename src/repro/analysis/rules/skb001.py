@@ -34,7 +34,8 @@ class SkbuffLeakRule(Rule):
     code = "SKB001"
     summary = "skbuff allocated from a pool is never freed or handed off"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
         for fn in module.functions():
             for node in own_nodes(fn):
                 if not isinstance(node, ast.Assign) or len(node.targets) != 1:

@@ -46,7 +46,8 @@ class BareUnitLiteralRule(Rule):
     code = "UNIT001"
     summary = "bare small integer for a byte/ns config field (use repro.units)"
 
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 for kw in node.keywords:

@@ -97,7 +97,7 @@ class TxSession:
 
     def on_ack(self, ack_seqnum: int) -> None:
         """Cumulative ack: everything <= ack_seqnum is delivered."""
-        acked = [s for s in self.pending if s <= ack_seqnum]
+        acked = sorted(s for s in self.pending if s <= ack_seqnum)
         if acked:
             # Forward progress: the peer is keeping up again.
             self.backoff_level = 0

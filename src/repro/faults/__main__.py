@@ -12,7 +12,10 @@ The report is JSON with sorted keys: running the same seed twice produces
 byte-identical files (the determinism the campaign and soak tests assert).
 ``--soak`` swaps the one-fault-per-cell matrix for the chained soak suite
 (fail→recover I/OAT flaps, flapping links, incast bursts) with periodic
-livelock/leak checkpoints — see DESIGN.md §12.
+livelock/leak checkpoints — see DESIGN.md §12.  ``--tiebreak-seed`` replays
+the whole run under a seeded shuffle of same-timestamp ties (see
+:mod:`repro.analysis.races`): outcome totals should be unchanged by any
+such shuffle, so a differing report is a schedule race under faults.
 """
 
 from __future__ import annotations
@@ -102,8 +105,24 @@ def main(argv=None) -> int:
     ap.add_argument("--duration", type=int, default=None, metavar="MS",
                     help="soak deadline in simulated milliseconds "
                          "(default 60)")
+    ap.add_argument("--tiebreak-seed", default=None, metavar="SEED",
+                    help="replay the whole run under a seeded shuffle of "
+                         "same-timestamp event ties (schedule-race hunting; "
+                         "forces --jobs 1 and disables the sweep cache)")
     args = ap.parse_args(argv)
 
+    if args.tiebreak_seed is not None:
+        # The policy factory is process-global state: worker processes would
+        # not inherit it, and cached cells would be stale FIFO results.
+        from repro.simkernel.tiebreak import SeededShuffleTieBreak, default_tiebreak
+
+        args.jobs, args.no_cache = 1, True
+        with default_tiebreak(lambda: SeededShuffleTieBreak(args.tiebreak_seed)):
+            return _dispatch(args)
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     if args.soak:
         return _soak_main(args)
 

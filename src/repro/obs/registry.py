@@ -29,7 +29,7 @@ names (``nic_rx_frames``, ``pull_replies_rx``...) survive unchanged —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 Number = Union[int, float]
 
@@ -156,6 +156,22 @@ class MetricsRegistry:
                 out[m.name] = m.read()
         return out
 
+    def fingerprint(self, exclude: Iterable[str] = ()) -> str:
+        """Order-insensitive hash of the current snapshot.
+
+        ``exclude`` names metrics that are *expected* to vary between
+        observationally equivalent runs (wall-clock timers, event-loop
+        bookkeeping); the race detector strips those before comparing.
+        Keys are sorted, so registration order never affects the digest.
+        """
+        import hashlib
+
+        drop = set(exclude)
+        snap = self.snapshot()
+        payload = "\n".join(f"{k}={snap[k]!r}" for k in sorted(snap)
+                            if k not in drop)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
     def render(self, title: str = "metrics") -> str:
         """Human-readable dump grouped by component."""
         from repro.reporting.table import Table
@@ -170,3 +186,24 @@ class MetricsRegistry:
             else:
                 t.add_row(m.component, m.kind, m.name, snap[m.name])
         return t.render()
+
+
+def diff_snapshots(
+    a: dict[str, Number], b: dict[str, Number],
+    exclude: Iterable[str] = (),
+) -> dict[str, tuple[Optional[Number], Optional[Number]]]:
+    """Keys whose values differ between two snapshots, as ``{k: (a, b)}``.
+
+    Missing keys appear with ``None`` on the absent side, so a metric that
+    only one run registered (a host that never came up) is reported rather
+    than silently skipped.  ``exclude`` strips expected-volatile keys.
+    """
+    drop = set(exclude)
+    out: dict[str, tuple[Optional[Number], Optional[Number]]] = {}
+    for k in sorted(set(a) | set(b)):
+        if k in drop:
+            continue
+        va, vb = a.get(k), b.get(k)
+        if va != vb:
+            out[k] = (va, vb)
+    return out

@@ -40,6 +40,27 @@ _LANE_PROCESSES = (
 _DEFAULT_PROCESS = ("events", 3)
 
 
+def trace_digest(rec: "TraceRecorder") -> str:
+    """Order-insensitive hash of a recorder's spans and instants.
+
+    Two schedules that do the *same work* can record spans in different
+    order (the recorder appends in dispatch order, and same-timestamp
+    dispatch order is exactly what the race detector perturbs), so the
+    digest hashes the **sorted** multiset of ``(start, end, lane, label,
+    category)`` tuples.  A mismatch therefore means the runs did different
+    work — not merely in a different order — which is the divergence signal
+    :mod:`repro.analysis.races` keys on.
+    """
+    import hashlib
+
+    spans = sorted((s.start, s.end, s.lane, s.label, s.category)
+                   for s in rec.spans)
+    instants = sorted((i.at, i.lane, i.label, i.category)
+                      for i in rec.instants)
+    payload = repr((spans, instants, rec.dropped_spans))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def _lane_process(lane: str) -> tuple[str, int]:
     for prefix, label, sort in _LANE_PROCESSES:
         if lane.startswith(prefix):

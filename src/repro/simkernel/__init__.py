@@ -19,10 +19,14 @@ This package is the substrate everything else runs on.  It provides:
 Design notes
 ------------
 Events fire in (time, sequence) order: ties are broken by scheduling order,
-so runs are fully deterministic.  Processes are plain generators; they yield
-:class:`Event` instances and are resumed with the event's value (or have the
-event's exception thrown into them).  A process is itself an event that
-succeeds with the generator's return value, enabling fork/join.
+so runs are fully deterministic.  The tie-break is pluggable
+(:mod:`repro.simkernel.tiebreak`); the FIFO default is the documented
+contract, and the seeded-shuffle policies exist so the race detector can
+prove no layer depends on more than that contract.  Processes are plain
+generators; they yield :class:`Event` instances and are resumed with the
+event's value (or have the event's exception thrown into them).  A process
+is itself an event that succeeds with the generator's return value,
+enabling fork/join.
 """
 
 from repro.simkernel.errors import Interrupted, SimulationError
@@ -32,6 +36,13 @@ from repro.simkernel.resources import Resource, Store
 from repro.simkernel.scheduler import Simulator
 from repro.simkernel.sync import Gate, Signal
 from repro.simkernel.cpu import Core, CpuSet
+from repro.simkernel.tiebreak import (
+    FifoTieBreak,
+    PrefixShuffleTieBreak,
+    SeededShuffleTieBreak,
+    TieBreakPolicy,
+    default_tiebreak,
+)
 from repro.simkernel.tracing import TraceRecorder, TraceSpan
 
 __all__ = [
@@ -40,15 +51,20 @@ __all__ = [
     "Core",
     "CpuSet",
     "Event",
+    "FifoTieBreak",
     "Gate",
     "Interrupted",
+    "PrefixShuffleTieBreak",
     "Process",
     "Resource",
+    "SeededShuffleTieBreak",
     "Signal",
     "SimulationError",
     "Simulator",
     "Store",
+    "TieBreakPolicy",
     "Timeout",
     "TraceRecorder",
     "TraceSpan",
+    "default_tiebreak",
 ]

@@ -1,4 +1,4 @@
-"""The event loop: a heap of (time, sequence, action) triples.
+"""The event loop: a heap of (time, tie key, action) triples.
 
 Two kinds of entries live on the heap:
 
@@ -8,7 +8,12 @@ Two kinds of entries live on the heap:
 
 Ties at equal times fire in scheduling order (monotonic sequence numbers), so
 the simulation is deterministic regardless of hash ordering or allocation
-addresses.
+addresses.  That FIFO order is the *documented* tie-break — and the only
+schedule property layers above are allowed to rely on.  The tie-break is
+pluggable (:mod:`repro.simkernel.tiebreak`): the race detector replays
+scenarios under seeded permutations of same-timestamp ties to prove no
+hidden schedule dependency crept in.  Without a policy the heap tuples and
+the push path are byte-for-byte the historical FIFO ones.
 """
 
 from __future__ import annotations
@@ -29,7 +34,14 @@ class Simulator:
     #: self-benchmark derives events-per-second per figure from the delta
     events_total: int = 0
 
-    def __init__(self) -> None:
+    #: process-wide source of tie-break policies for simulators built
+    #: without an explicit ``tiebreak`` argument; installed (and restored)
+    #: by :func:`repro.simkernel.tiebreak.default_tiebreak` so the race
+    #: detector reaches simulators constructed inside testbed factories.
+    #: ``None`` (the default) keeps the FIFO fast path untouched.
+    default_tiebreak_factory: Optional[Callable[[], object]] = None
+
+    def __init__(self, tiebreak: Optional[object] = None) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
         self._seq: int = 0
@@ -42,6 +54,28 @@ class Simulator:
         #: callbacks run by :meth:`finish` (resource sanitizers and other
         #: end-of-simulation invariant checks register here)
         self._teardown_checks: list[Callable[[], None]] = []
+        #: when not None, run()/run_until() append one ``(time, label)``
+        #: entry per executed action — the race detector's schedule log
+        self._schedule_log: Optional[list[tuple[int, str]]] = None
+        if tiebreak is None and Simulator.default_tiebreak_factory is not None:
+            tiebreak = Simulator.default_tiebreak_factory()
+        #: the active tie-break policy; None means the built-in FIFO
+        self.tiebreak = tiebreak
+        if tiebreak is not None:
+            # Shadow the class push with a keyed closure on this instance
+            # only, so FIFO simulators never pay for the indirection.
+            key = tiebreak.key
+            heap = self._heap
+
+            def push_keyed(when: int, action: Callable[[], None]) -> None:
+                if when < self.now:
+                    raise SimulationError(
+                        f"cannot schedule in the past ({when} < {self.now})"
+                    )
+                self._seq += 1
+                heapq.heappush(heap, (when, key(self._seq), action))
+
+            self._push = push_keyed
 
     # -- construction helpers ---------------------------------------------
 
@@ -148,6 +182,7 @@ class Simulator:
         t0 = time.perf_counter()
         heap = self._heap
         pop = heapq.heappop
+        log = self._schedule_log
         try:
             while heap:
                 when, _seq, action = heap[0]
@@ -156,6 +191,8 @@ class Simulator:
                     break
                 pop(heap)
                 self.now = when
+                if log is not None:
+                    log.append((when, _action_label(action)))
                 action()
                 count += 1
                 if max_events is not None and count >= max_events:
@@ -178,6 +215,7 @@ class Simulator:
         t0 = time.perf_counter()
         heap = self._heap
         pop = heapq.heappop
+        log = self._schedule_log
         try:
             # `ev._value is _PENDING and ev._exc is None` is Event.triggered
             # inlined: this loop runs once per simulation event, and the
@@ -189,6 +227,8 @@ class Simulator:
                     )
                 when, _seq, action = pop(heap)
                 self.now = when
+                if log is not None:
+                    log.append((when, _action_label(action)))
                 action()
                 count += 1
                 if max_events is not None and count >= max_events:
@@ -202,6 +242,18 @@ class Simulator:
     def peek(self) -> Optional[int]:
         """Time of the next scheduled action, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None
+
+    def record_schedule(self) -> list[tuple[int, str]]:
+        """Start logging every executed action as ``(time, label)``.
+
+        Returns the (live) log list.  Used by the race detector's bisection
+        to diff two runs' schedules around the first diverging event; the
+        labels are action ``__qualname__``s — coarse, but stable across
+        runs, which is what schedule diffing needs.
+        """
+        if self._schedule_log is None:
+            self._schedule_log = []
+        return self._schedule_log
 
     # -- teardown -----------------------------------------------------------
 
@@ -222,3 +274,11 @@ class Simulator:
         """
         for check in self._teardown_checks:
             check()
+
+
+def _action_label(action: Callable[[], None]) -> str:
+    """Stable-ish label for a heap action (schedule-log entries)."""
+    label = getattr(action, "__qualname__", None)
+    if label is not None:
+        return label
+    return type(action).__name__

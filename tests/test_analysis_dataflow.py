@@ -1,0 +1,294 @@
+"""The cross-module dataflow engine (repro.analysis.dataflow).
+
+Covers the three layers the new rules stand on: the project symbol table
+and conservative call-graph resolution, backward taint propagation with
+witness paths, and the per-function order-stability analysis
+(``unordered_iters``).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.dataflow import Project, module_name_for, unordered_iters
+from repro.analysis.lint import ModuleSource
+
+pytestmark = pytest.mark.lint
+
+
+def _module(path, src):
+    return ModuleSource(path, textwrap.dedent(src))
+
+
+def _project(*pairs):
+    return Project([_module(p, s) for p, s in pairs])
+
+
+# ---------------------------------------------------------------------------
+# symbol table and call resolution
+# ---------------------------------------------------------------------------
+
+
+def test_module_name_for_repro_paths():
+    assert module_name_for("src/repro/core/driver.py") == "repro.core.driver"
+    assert module_name_for("/abs/src/repro/obs/trace.py") == "repro.obs.trace"
+    assert module_name_for("golden.py") == "golden"
+
+
+def test_symbol_table_indexes_methods_and_nested_defs():
+    p = _project(("m.py", """
+        def top():
+            def inner():
+                pass
+            inner()
+
+        class C:
+            def method(self):
+                pass
+    """))
+    assert set(p.functions) == {"m.top", "m.top.inner", "m.C.method"}
+
+
+def test_bare_name_resolves_to_module_level_function():
+    p = _project(("m.py", """
+        def helper():
+            pass
+
+        def caller():
+            helper()
+    """))
+    (site,) = p.functions["m.caller"].calls
+    assert site.resolved == "m.helper"
+
+
+def test_nested_def_shadows_module_level():
+    p = _project(("m.py", """
+        def helper():
+            pass
+
+        def caller():
+            def helper():
+                pass
+            helper()
+    """))
+    (site,) = p.functions["m.caller"].calls
+    assert site.resolved == "m.caller.helper"
+
+
+def test_self_method_resolves_within_class():
+    p = _project(("m.py", """
+        class C:
+            def a(self):
+                self.b()
+
+            def b(self):
+                pass
+    """))
+    (site,) = p.functions["m.C.a"].calls
+    assert site.resolved == "m.C.b"
+
+
+def test_cross_module_resolution_via_import():
+    p = _project(
+        ("src/repro/util.py", """
+            def helper():
+                pass
+        """),
+        ("src/repro/main.py", """
+            from repro.util import helper
+
+            def run():
+                helper()
+        """),
+    )
+    (site,) = p.functions["repro.main.run"].calls
+    assert site.resolved == "repro.util.helper"
+
+
+def test_unresolved_calls_are_leaves_not_edges():
+    p = _project(("m.py", """
+        def run(obj):
+            obj.mystery()
+    """))
+    (site,) = p.functions["m.run"].calls
+    assert site.resolved is None
+
+
+def test_callers_of_reverse_graph():
+    p = _project(("m.py", """
+        def leaf():
+            pass
+
+        def a():
+            leaf()
+
+        def b():
+            leaf()
+    """))
+    callers = p.callers_of()["m.leaf"]
+    assert sorted(c for c, _ in callers) == ["m.a", "m.b"]
+
+
+# ---------------------------------------------------------------------------
+# taint propagation
+# ---------------------------------------------------------------------------
+
+
+def _wallclock_taint(project):
+    def predicate(site):
+        return ("wall clock" if site.dotted == "time.time" else None)
+    return project.taint(predicate)
+
+
+def test_taint_direct_and_transitive():
+    p = _project(("m.py", """
+        import time
+
+        def leaf():
+            return time.time()
+
+        def mid():
+            return leaf()
+
+        def top():
+            return mid()
+
+        def clean():
+            return 1
+    """))
+    t = _wallclock_taint(p)
+    for fn in ("m.leaf", "m.mid", "m.top"):
+        assert t.reaches(fn), fn
+    assert not t.reaches("m.clean")
+
+
+def test_taint_path_is_a_witness_chain():
+    p = _project(("m.py", """
+        import time
+
+        def leaf():
+            return time.time()
+
+        def mid():
+            return leaf()
+
+        def top():
+            return mid()
+    """))
+    t = _wallclock_taint(p)
+    assert t.path("m.top") == ["m.top", "m.mid", "m.leaf"]
+    assert t.reason("m.top") == "wall clock"
+
+
+def test_taint_crosses_modules():
+    p = _project(
+        ("src/repro/clock.py", """
+            import time
+
+            def now_ms():
+                return int(time.time() * 1e3)
+        """),
+        ("src/repro/proc.py", """
+            from repro.clock import now_ms
+
+            def stamp():
+                return now_ms()
+        """),
+    )
+    t = _wallclock_taint(p)
+    assert t.reaches("repro.proc.stamp")
+    assert t.path("repro.proc.stamp") == ["repro.proc.stamp",
+                                          "repro.clock.now_ms"]
+
+
+def test_taint_does_not_jump_unresolved_edges():
+    """Duck-typed calls never conduct taint — findings are not guesses."""
+    p = _project(("m.py", """
+        import time
+
+        def leaf():
+            return time.time()
+
+        def top(obj):
+            obj.leaf()
+    """))
+    t = _wallclock_taint(p)
+    assert not t.reaches("m.top")
+
+
+# ---------------------------------------------------------------------------
+# order-stability analysis
+# ---------------------------------------------------------------------------
+
+
+def _loops(src):
+    m = _module("m.py", src)
+    out = []
+    for fn in m.functions():
+        out += [l.what for l in unordered_iters(m, fn, None)]
+    return out
+
+
+def test_set_literal_and_dict_views_are_unordered():
+    assert _loops("""
+        def f(d):
+            for x in {1, 2}:
+                pass
+            for v in d.values():
+                pass
+    """) != []
+
+
+def test_sorted_fixes_order():
+    assert _loops("""
+        def f(d):
+            for k in sorted(d):
+                pass
+            for v in sorted(d.values()):
+                pass
+    """) == []
+
+
+def test_list_preserves_disorder():
+    assert len(_loops("""
+        def f(d):
+            for v in list(d.values()):
+                pass
+    """)) == 1
+
+
+def test_local_assigned_from_set_ctor_tracked():
+    assert len(_loops("""
+        def f():
+            pending = set()
+            pending.add(1)
+            for x in pending:
+                pass
+    """)) == 1
+
+
+def test_self_attr_type_inferred_across_class():
+    m = _module("m.py", """
+        class C:
+            def __init__(self):
+                self.table = {}
+                self.order = []
+
+            def walk(self):
+                for k in self.table:
+                    pass
+                for x in self.order:
+                    pass
+    """)
+    fns = {fn.name: fn for fn in m.functions()}
+    cls = m.tree.body[0]
+    loops = unordered_iters(m, fns["walk"], cls)
+    assert len(loops) == 1
+    assert "table" in loops[0].what
+
+
+def test_comprehensions_count_as_iteration():
+    assert len(_loops("""
+        def f(d):
+            return [v for v in d.values()]
+    """)) == 1

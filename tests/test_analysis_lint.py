@@ -166,6 +166,91 @@ GOLDENS = [
         def propagate(ev, err):
             ev.fail(err)
     """, set()),
+    ("race001_register_in_set_loop", """
+        def arm(sim, handlers, names):
+            for name in {n for n in names}:
+                sim.process(handlers[name])
+    """, {"RACE001"}),
+    ("race001_loop_bound_callback", """
+        def flush(watchers):
+            for cb, err in watchers.values():
+                cb()
+    """, {"RACE001"}),
+    ("race001_sorted_ok", """
+        def flush(watchers):
+            for seq in sorted(watchers):
+                watchers[seq]()
+    """, set()),
+    ("race001_list_ok", """
+        def arm(sim, handlers):
+            for h in handlers_list(handlers):
+                sim.process(h)
+    """, set()),
+    ("ord001_call_at_in_dict_loop", """
+        def kick(sim, deadlines, tick):
+            for t in deadlines.values():
+                sim.call_at(t, tick)
+    """, {"ORD001"}),
+    ("ord001_succeed_in_set_loop", """
+        class Gate:
+            def __init__(self):
+                self.waiters = set()
+
+            def open(self):
+                for ev in self.waiters:
+                    ev.succeed()
+    """, {"ORD001"}),
+    ("ord001_sorted_ok", """
+        def kick(sim, deadlines, tick):
+            for t in sorted(deadlines.values()):
+                sim.call_at(t, tick)
+    """, set()),
+    ("det002_one_hop", """
+        import time
+
+        def _now():
+            return time.time()
+
+        def proc(sim):
+            t = _now()
+            yield sim.timeout(5)
+    """, {"DET002"}),
+    ("det002_two_hops", """
+        import time
+
+        def _now():
+            return time.time()
+
+        def _stamp(pkt):
+            pkt.ts = _now()
+
+        def proc(sim, pkt):
+            _stamp(pkt)
+            yield sim.timeout(5)
+    """, {"DET002"}),
+    ("det002_not_reached_from_process", """
+        import time
+
+        def _now():
+            return time.time()
+
+        def helper():
+            return _now()
+    """, set()),
+    ("det002_direct_call_is_sim001s", """
+        import time
+
+        def proc(sim):
+            t = time.time()
+            yield sim.timeout(5)
+    """, {"SIM001"}),
+    ("sim001_seeded_stdlib_rng_ok", """
+        import random
+
+        def proc(sim):
+            rng = random.Random(42)
+            yield sim.timeout(rng.randrange(1, 10))
+    """, set()),
 ]
 
 
