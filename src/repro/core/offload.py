@@ -26,7 +26,9 @@ from typing import TYPE_CHECKING, Generator, Optional
 from repro.ethernet.skbuff import Skbuff
 from repro.ioat.api import DmaCookie
 from repro.ioat.channel import DmaChannel
+from repro.ioat.descriptor import CopyDescriptor
 from repro.memory.buffers import MemoryRegion
+from repro.memory.layout import count_page_aligned_chunks, page_aligned_chunks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.host import Host
@@ -168,20 +170,54 @@ class OffloadManager:
             # Fig. 3 prediction mode: the copy is skipped entirely.
             return False
         if self.should_offload(state, msg_len, length):
-            cookie = yield from self.host.ioat.submit_copy(
-                core, skb.head, skb_off, dst, dst_off, length, "bh",
-                channel=state.channel,
+            ioat = self.host.ioat
+            ch = state.channel
+            src = skb.head
+            # IoatDmaApi.submit_copy inlined (schedule-identical: same reap /
+            # ring-full wait / per-descriptor yield sequence) — fragments
+            # run once per wire frame, and the delegated generator frame is
+            # pure overhead at that rate.
+            n_chunks = count_page_aligned_chunks(
+                src.addr + skb_off, dst.addr + dst_off, length
             )
+            if n_chunks == 1:
+                pieces = ((0, 0, length),)
+            else:
+                pieces = page_aligned_chunks(
+                    src.addr + skb_off, dst.addr + dst_off, length
+                )
+            sc = ioat.params.submit_cost
+            last = -1
+            for rel_src, rel_dst, n in pieces:
+                while ch.ring.free_slots == 0:
+                    ch.reap()
+                    if ch.ring.free_slots:
+                        break
+                    start = core.sim.now
+                    yield ch.wait_completion().wait()
+                    core.account("bh", core.sim.now - start, phase="dma_wait")
+                if sc:
+                    yield sc
+                core.account("bh", sc, "dma_submit")
+                last = ch.submit(CopyDescriptor(
+                    src, skb_off + rel_src, dst, dst_off + rel_dst, n
+                ))
+            ioat.copies_submitted += 1
+            ioat.descriptors_submitted += n_chunks
+            cookie = DmaCookie(ch, last, length, n_chunks)
             state.pending.append(
                 PendingCopy(cookie, skb, skb_off, dst, dst_off, length)
             )
             state.offloaded_bytes += length
             self.frags_offloaded += 1
             return True
-        yield from self.host.copier.memcpy(
-            core, skb.head, skb_off, dst, dst_off, length, "bh",
-            phase="frag_copy",
-        )
+        copier = self.host.copier
+        src = skb.head
+        cost = copier.copy_cost(core, src, skb_off, dst, dst_off, length)
+        if cost:
+            yield cost  # bare-int sleep, as memcpy itself would
+        copier.commit(core, src, skb_off, dst, dst_off, length, "bh", cost,
+                      phase="frag_copy")
         state.copied_bytes += length
         self.frags_memcpy += 1
         return False

@@ -173,7 +173,7 @@ class TxSession:
                 # Sleep to the *earliest* per-packet deadline.  The old
                 # fixed-period sleep retransmitted a packet stamped
                 # mid-interval up to 2x the timeout late.
-                yield self.sim.timeout(deadline - now)
+                yield deadline - now  # bare-int sleep
                 continue  # acks may have landed while sleeping: re-evaluate
             for seq in sorted(self.pending):
                 entry = self.pending.get(seq)
@@ -272,7 +272,7 @@ class RxSession:
         self._ack_scheduled = True
 
         def delayed() -> Generator:
-            yield self.sim.timeout(DELAYED_ACK)
+            yield DELAYED_ACK  # bare-int sleep
             self._ack_scheduled = False
             if self.cumulative > self._acked_up_to or self._dup_since_ack:
                 # The duplicate case is the lost-ACK recovery path: without

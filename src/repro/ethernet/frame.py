@@ -15,7 +15,7 @@ ETHERTYPE_MX = 0x86DF
 MIN_PAYLOAD = 46
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetFrame:
     """One frame in flight.
 
@@ -35,20 +35,19 @@ class EthernetFrame:
     #: set by fault injection: the frame's FCS is bad and the receiving NIC
     #: will drop it (counted as a CRC error, like real hardware)
     corrupted: bool = field(default=False, compare=False)
+    #: bytes in the frame buffer: MAC header + padded payload.  Precomputed
+    #: because ``payload_len`` never changes after construction and the hot
+    #: RX/TX paths read these lengths several times per frame.
+    frame_len: int = field(init=False, compare=False, default=0)
+    #: bytes occupying the wire: frame + preamble/SFD + CRC + IFG
+    wire_len: int = field(init=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.payload_len < 0:
+        n = self.payload_len
+        if n < 0:
             raise ValueError("negative payload length")
-
-    @property
-    def frame_len(self) -> int:
-        """Bytes in the frame buffer: MAC header + padded payload."""
-        return units.ETHERNET_HEADER_LEN + max(self.payload_len, MIN_PAYLOAD)
-
-    @property
-    def wire_len(self) -> int:
-        """Bytes occupying the wire: frame + preamble/SFD + CRC + IFG."""
-        return self.frame_len + units.ETHERNET_WIRE_OVERHEAD
+        self.frame_len = units.ETHERNET_HEADER_LEN + (n if n > MIN_PAYLOAD else MIN_PAYLOAD)
+        self.wire_len = self.frame_len + units.ETHERNET_WIRE_OVERHEAD
 
     def serialization_time(self, link_bw: float) -> int:
         """Ticks to clock this frame onto a link of ``link_bw`` bytes/s."""

@@ -113,29 +113,38 @@ class Nic:
             if self.trace is not None and self.trace.enabled:
                 self.trace.instant("NIC", "rx ring exhausted: drop", "fault")
             return
-        skb = self._rx_ring.popleft()
-        if len(self._rx_ring) < self.rx_ring_min_fill:
-            self.rx_ring_min_fill = len(self._rx_ring)
+        ring = self._rx_ring
+        skb = ring.popleft()
+        fill = len(ring)
+        if fill < self.rx_ring_min_fill:
+            self.rx_ring_min_fill = fill
         payload = frame.payload
-        data = getattr(payload, "gather_data", None)
-        if data is not None:
-            n = getattr(payload, "data_length", None)
-            if n is None or not phantom.elide(n):
-                raw = payload.gather_data()
-                n = min(len(raw), len(skb.head))
-                if n:
-                    skb.head.write(0, raw[:n])
-            else:
+        head = skb.head
+        head_size = head._size
+        # Data-bearing payloads expose ``data_length`` (MxPacket); anything
+        # else (opaque test payloads, None) takes the linear-copy branch.
+        n = getattr(payload, "data_length", None)
+        if n is not None:
+            if phantom.elide(n):
                 # Phantom mode: the DMA/cache accounting below is all the
                 # cost model reads; skip gathering and storing the bytes.
-                n = min(n, len(skb.head))
+                if n > head_size:
+                    n = head_size
+            else:
+                raw = payload.gather_data()
+                n = raw.size
+                if n > head_size:
+                    n = head_size
+                if n:
+                    head.write(0, raw[:n])
             skb.data_len = n
         else:
-            skb.data_len = min(frame.payload_len, len(skb.head))
+            n = frame.payload_len
+            skb.data_len = n = n if n < head_size else head_size
         skb.frame = frame
         # DMA side effects: bus traffic + cache snoop invalidation.
         self.bus.record_dma_write(frame.frame_len)
-        self.caches.invalidate_all(skb.head.addr, max(skb.data_len, 1))
+        self.caches.invalidate_all(head.addr, n if n > 0 else 1)
         self.rx_frames += 1
         if self.softirq is not None:
             self.softirq.enqueue(skb)
@@ -156,17 +165,20 @@ class Nic:
         """
         if self._egress is None:
             raise RuntimeError("NIC has no link attached")
-        yield from core.busy(self.params.tx_frame_cost, "driver")
+        tx_cost = self.params.tx_frame_cost
+        if tx_cost:
+            yield tx_cost
+        core.account("driver", tx_cost)
         skb.frame = frame
-        egress = self._egress
         sim = self.sim
-
-        def tx_complete(delivered: bool) -> None:
-            self.tx_frames += 1
-            skb.free()  # TX completion releases the buffer (and page frags)
-
-        sim.call_at(
-            sim.now + self.params.per_frame_cost,
-            lambda: egress.send(frame, on_serialized=tx_complete),
-        )
+        sim._push(sim.now + self.params.per_frame_cost,
+                  self._doorbell, (frame, skb))
         return None
+
+    def _doorbell(self, frame: EthernetFrame, skb: Skbuff) -> None:
+        """Descriptor fetch done: hand the frame to the link serializer."""
+        self._egress.send(frame, self._tx_complete, skb)
+
+    def _tx_complete(self, skb: Skbuff, delivered: bool) -> None:
+        self.tx_frames += 1
+        skb.free()  # TX completion releases the buffer (and page frags)

@@ -104,9 +104,11 @@ class SkbuffPool:
         return self._track(Skbuff(self, None))
 
     def _track(self, skb: Skbuff) -> Skbuff:
-        self.outstanding += 1
+        n = self.outstanding + 1
+        self.outstanding = n
         self.total_allocated += 1
-        self.peak_outstanding = max(self.peak_outstanding, self.outstanding)
+        if n > self.peak_outstanding:
+            self.peak_outstanding = n
         if self.observer is not None:
             self.observer.on_skb_alloc(self, skb)
         return skb

@@ -99,7 +99,7 @@ class EthernetSwitch:
     def _egress_daemon(self, port: int) -> Generator:
         while True:
             frame = yield self._egress_q[port].get()
-            yield self.sim.timeout(self.forwarding_latency)
+            yield self.forwarding_latency  # bare-int sleep (per frame)
             link = self.links[port]
             if link is None:
                 continue

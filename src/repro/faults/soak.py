@@ -102,7 +102,7 @@ def _checkpoint_daemon(tb, spec: SoakSpec, transfers, checkpoints: list):
 
     def proc():
         while True:
-            yield tb.sim.timeout(spec.checkpoint_interval)
+            yield spec.checkpoint_interval  # bare-int sleep
             open_transfers = _nonterminal(transfers)
             frames = frames_moved()
             checkpoints.append({

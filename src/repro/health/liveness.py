@@ -94,7 +94,7 @@ class PeerLivenessMonitor:
     def _scan_loop(self) -> Generator:
         interval = self.params.keepalive_interval
         while True:
-            yield self.sim.timeout(interval)
+            yield interval  # bare-int sleep
             peers = self._pending_peers()
             if not peers:
                 # Disarm: no pending work means nothing to supervise; the

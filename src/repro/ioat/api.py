@@ -20,7 +20,7 @@ from repro.ioat.channel import DmaChannel
 from repro.ioat.descriptor import CopyDescriptor
 from repro.ioat.engine import IoatEngine
 from repro.memory.buffers import MemoryRegion
-from repro.memory.layout import page_aligned_chunks
+from repro.memory.layout import count_page_aligned_chunks, page_aligned_chunks
 from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,8 +66,8 @@ class IoatDmaApi:
     def descriptor_count(self, src: MemoryRegion, src_off: int,
                          dst: MemoryRegion, dst_off: int, length: int) -> int:
         """How many descriptors this copy needs (page-contained chunks)."""
-        return sum(
-            1 for _ in page_aligned_chunks(src.addr + src_off, dst.addr + dst_off, length)
+        return count_page_aligned_chunks(
+            src.addr + src_off, dst.addr + dst_off, length
         )
 
     def submit_cost(self, n_descriptors: int) -> int:
@@ -94,11 +94,20 @@ class IoatDmaApi:
         if length <= 0:
             raise ValueError("cannot submit empty copy")
         ch = channel if channel is not None else self.engine.allocate_channel()
-        chunks = list(
-            page_aligned_chunks(src.addr + src_off, dst.addr + dst_off, length)
+        n_chunks = count_page_aligned_chunks(
+            src.addr + src_off, dst.addr + dst_off, length
         )
+        if n_chunks == 1:
+            # Fast path: page-contained copy (the common case — pull
+            # fragments are page-sized and the skbuff source is page
+            # aligned), no chunk generator needed.
+            pieces = ((0, 0, length),)
+        else:
+            pieces = page_aligned_chunks(
+                src.addr + src_off, dst.addr + dst_off, length
+            )
         last = -1
-        for rel_src, rel_dst, n in chunks:
+        for rel_src, rel_dst, n in pieces:
             while ch.ring.free_slots == 0:
                 # Descriptor ring full (multi-megabyte synchronous copies):
                 # reap the completed prefix; if nothing has retired yet,
@@ -110,14 +119,16 @@ class IoatDmaApi:
                 start = core.sim.now
                 yield ch.wait_completion().wait()
                 core.account(category, core.sim.now - start, phase="dma_wait")
-            yield from core.busy(self.params.submit_cost, category,
-                                 phase="dma_submit")
+            sc = self.params.submit_cost
+            if sc:
+                yield sc
+            core.account(category, sc, "dma_submit")
             last = ch.submit(
                 CopyDescriptor(src, src_off + rel_src, dst, dst_off + rel_dst, n)
             )
         self.copies_submitted += 1
-        self.descriptors_submitted += len(chunks)
-        return DmaCookie(ch, last, length, len(chunks))
+        self.descriptors_submitted += n_chunks
+        return DmaCookie(ch, last, length, n_chunks)
 
     def submit_copy_striped(
         self,
@@ -153,8 +164,10 @@ class IoatDmaApi:
                 start = core.sim.now
                 yield ch.wait_completion().wait()
                 core.account(category, core.sim.now - start, phase="dma_wait")
-            yield from core.busy(self.params.submit_cost, category,
-                                 phase="dma_submit")
+            sc = self.params.submit_cost
+            if sc:
+                yield sc
+            core.account(category, sc, "dma_submit")
             last[ch.index] = ch.submit(
                 CopyDescriptor(src, src_off + rel_src, dst, dst_off + rel_dst, n)
             )

@@ -65,6 +65,8 @@ class DmaChannel:
         #: cookies of descriptors aborted by :meth:`fail` — status polls see
         #: them as complete, :meth:`copy_failed` reports the error
         self._aborted_cookies: set[int] = set()
+        #: descriptor length -> engine ticks (see :meth:`service_time`)
+        self._service_cache: dict[int, int] = {}
         # statistics
         self.descriptors_completed = 0
         self.descriptors_failed = 0
@@ -213,9 +215,19 @@ class DmaChannel:
     # -- engine ------------------------------------------------------------
 
     def service_time(self, length: int) -> int:
-        """Engine ticks to execute one descriptor of ``length`` bytes."""
-        move = int(round(length * SEC / self.params.engine_bw))
-        return self.params.per_descriptor_cost + max(move, 1)
+        """Engine ticks to execute one descriptor of ``length`` bytes.
+
+        Memoized per length: real workloads submit a handful of distinct
+        descriptor sizes (full pages plus the odd tail), and the float
+        round-trip below is measurable at one-descriptor-per-4KiB rates.
+        """
+        t = self._service_cache.get(length)
+        if t is None:
+            move = int(round(length * SEC / self.params.engine_bw))
+            t = self._service_cache[length] = (
+                self.params.per_descriptor_cost + max(move, 1)
+            )
+        return t
 
     def _service_next(self) -> None:
         """Start executing the oldest pending descriptor, if any.
@@ -246,7 +258,7 @@ class DmaChannel:
         self._busy = True
         t = self.service_time(desc.length)
         start = self.sim.now
-        self.sim.call_at(start + t, lambda: self._finish(desc, t, start))
+        self.sim._push(start + t, self._finish, (desc, t, start))
 
     def _stall_wake(self) -> None:
         self._stall_wake_pending = False

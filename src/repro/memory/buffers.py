@@ -39,19 +39,35 @@ class MemoryRegion:
         The address space this region belongs to, if any.
     """
 
-    __slots__ = ("addr", "data", "owner")
+    __slots__ = ("addr", "_data", "_size", "owner")
 
-    def __init__(self, addr: int, data: np.ndarray, owner: Optional["AddressSpace"] = None):
-        if data.dtype != np.uint8:
-            raise TypeError("MemoryRegion backing must be uint8")
+    def __init__(self, addr: int, data: "np.ndarray | int",
+                 owner: Optional["AddressSpace"] = None):
+        if isinstance(data, int):
+            # Lazy backing: the zeros are materialized on first data access.
+            # Phantom-mode workloads allocate megabytes they never touch
+            # (every big write/copy is elided), so most regions stay virtual.
+            self._data: Optional[np.ndarray] = None
+            self._size = data
+        else:
+            if data.dtype != np.uint8:
+                raise TypeError("MemoryRegion backing must be uint8")
+            self._data = data
+            self._size = int(data.size)
         self.addr = addr
-        self.data = data
         self.owner = owner
+
+    @property
+    def data(self) -> np.ndarray:
+        d = self._data
+        if d is None:
+            d = self._data = np.zeros(self._size, dtype=np.uint8)
+        return d
 
     # -- geometry -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self.data.size)
+        return self._size
 
     @property
     def end(self) -> int:
@@ -138,10 +154,10 @@ class AddressSpace:
         addr = (self._brk + align - 1) & ~(align - 1)
         self._brk = addr + max(length, 1)
         self.allocated += length
-        data = np.zeros(length, dtype=np.uint8)
+        region = MemoryRegion(addr, length, owner=self)
         if fill is not None:
-            data[:] = fill
-        return MemoryRegion(addr, data, owner=self)
+            region.data[:] = fill
+        return region
 
     def alloc_pages(self, n_pages: int) -> MemoryRegion:
         """Allocate ``n_pages`` whole pages (kernel page allocator model)."""

@@ -43,10 +43,19 @@ class MemoryBus:
 
     def record_dma_write(self, nbytes: int) -> None:
         """Account a NIC (or other device) DMA write into host memory."""
-        self._ingress.append((self.sim.now, nbytes))
+        now = self.sim.now
+        q = self._ingress
+        q.append((now, nbytes))
         self._ingress_bytes_in_window += nbytes
         self.total_ingress += nbytes
-        self._trim()
+        # Inline trim: one comparison in the common (nothing expired) case.
+        horizon = now - self.params.rate_window
+        if q[0][0] < horizon:
+            w = self._ingress_bytes_in_window
+            popleft = q.popleft
+            while q and q[0][0] < horizon:
+                w -= popleft()[1]
+            self._ingress_bytes_in_window = w
 
     def _trim(self) -> None:
         horizon = self.sim.now - self.params.rate_window

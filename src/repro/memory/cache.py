@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.memory.layout import page_range
 from repro.params import CacheParams
 from repro.units import PAGE_SIZE
 
@@ -47,11 +46,15 @@ class L2Cache:
 
     def residency(self, addr: int, length: int) -> float:
         """Fraction of the byte range currently resident (0.0 .. 1.0)."""
-        pages = page_range(addr, length)
-        if not len(pages):
+        if length <= 0:
             return 1.0
-        hit = sum(1 for p in pages if p in self._resident)
-        return hit / len(pages)
+        first = addr // PAGE_SIZE
+        n = (addr + length - 1) // PAGE_SIZE - first + 1
+        if not self._resident:
+            return 0.0
+        resident = self._resident
+        hit = sum(1 for p in range(first, first + n) if p in resident)
+        return hit / n
 
     def contains(self, addr: int, length: int) -> bool:
         """True if the whole range is resident."""
@@ -65,22 +68,29 @@ class L2Cache:
         This is the pollution mechanism: touching more than the capacity
         LRU-evicts older pages.
         """
-        for p in page_range(addr, length):
-            if p in self._resident:
-                self._resident.move_to_end(p)
+        if length <= 0:
+            return
+        resident = self._resident
+        last = (addr + length - 1) // PAGE_SIZE
+        for p in range(addr // PAGE_SIZE, last + 1):
+            if p in resident:
+                resident.move_to_end(p)
             else:
-                self._resident[p] = None
+                resident[p] = None
                 self.insertions += 1
-                if len(self._resident) > self.capacity_pages:
-                    self._resident.popitem(last=False)
+                if len(resident) > self.capacity_pages:
+                    resident.popitem(last=False)
                     self.evictions += 1
 
     def invalidate(self, addr: int, length: int) -> None:
         """Drop the range (DMA write snoop invalidation)."""
-        if not self._resident:
-            return  # nothing cached: skip the page-range walk (hot RX path)
-        for p in page_range(addr, length):
-            self._resident.pop(p, None)
+        resident = self._resident
+        if not resident or length <= 0:
+            return  # nothing cached: skip the page walk (hot RX path)
+        pop = resident.pop
+        last = (addr + length - 1) // PAGE_SIZE
+        for p in range(addr // PAGE_SIZE, last + 1):
+            pop(p, None)
 
     def flush(self) -> None:
         """Empty the cache."""
@@ -102,5 +112,16 @@ class CacheDirectory:
     def invalidate_all(self, addr: int, length: int) -> None:
         """Invalidate a range in every cache (NIC / I-OAT DMA writes snoop
         every die's cache)."""
+        if length <= 0:
+            return
+        first = addr // PAGE_SIZE
+        last = (addr + length - 1) // PAGE_SIZE
+        # Per-cache loop inlined from L2Cache.invalidate: this runs once per
+        # DMA write, i.e. once per received frame, across every die.
         for c in self.caches:
-            c.invalidate(addr, length)
+            resident = c._resident
+            if not resident:
+                continue
+            pop = resident.pop
+            for p in range(first, last + 1):
+                pop(p, None)

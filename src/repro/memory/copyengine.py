@@ -22,8 +22,8 @@ from typing import TYPE_CHECKING, Generator, Optional
 from repro.memory.buffers import MemoryRegion, copy_bytes
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import CacheDirectory
-from repro.memory.layout import count_page_aligned_chunks, iter_chunks
-from repro.units import SEC
+from repro.memory.layout import count_page_aligned_chunks
+from repro.units import PAGE_SIZE, SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.params import HostParams
@@ -91,7 +91,9 @@ class CpuCopier:
         if length <= 0:
             return 0
         if chunk is not None:
-            n_chunks = sum(1 for _ in iter_chunks(0, length, chunk))
+            if chunk <= 0:
+                raise ValueError("chunk must be positive")
+            n_chunks = -(-length // chunk)  # ceil division
         else:
             n_chunks = count_page_aligned_chunks(src.addr + src_off, dst.addr + dst_off, length)
         bw = self._blended_bw(core, src, src_off, dst, dst_off, length)
@@ -110,18 +112,43 @@ class CpuCopier:
         the work for an attached profiler.  Returns the cost in ticks.
         """
         cost = self.copy_cost(core, src, src_off, dst, dst_off, length, chunk)
-        yield from core.busy(cost, category, phase=phase or "memcpy")
+        if cost:
+            yield cost  # bare-int sleep (schedule-identical to core.busy)
+        self.commit(core, src, src_off, dst, dst_off, length, category, cost,
+                    phase)
+        return cost
+
+    def commit(self, core: "Core", src: MemoryRegion, src_off: int,
+               dst: MemoryRegion, dst_off: int, length: int, category: str,
+               cost: int, phase: Optional[str] = None) -> None:
+        """Post-sleep half of :meth:`memcpy`: accounting + side effects.
+
+        Split out so fragment-sized hot paths can run plan/yield/commit in
+        their own frame instead of delegating into a fresh generator per
+        copy; the caller must already have slept ``cost`` ticks (obtained
+        from :meth:`copy_cost`) while holding ``core``.
+        """
+        core.account(category, cost, phase or "memcpy")
         copy_bytes(src, src_off, dst, dst_off, length)
         cache = self.caches[core.die]
         cache.touch(src.addr + src_off, length)
-        cache.touch(dst.addr + dst_off, length)
+        dsta = dst.addr + dst_off
+        cache.touch(dsta, length)
         # Stores take the destination lines exclusive: every other cache's
         # copy is invalidated (MESI).  This is what keeps ping-pong copies
         # between sockets permanently slow (Fig. 10): each side's data is
-        # dirty in the other side's cache.
+        # dirty in the other side's cache.  (Per-cache loop inlined from
+        # L2Cache.invalidate: this runs once per BH copy.)
+        first = dsta // PAGE_SIZE
+        last = (dsta + length - 1) // PAGE_SIZE
         for other in self.caches.caches:
-            if other is not cache:
-                other.invalidate(dst.addr + dst_off, length)
+            if other is cache:
+                continue
+            resident = other._resident
+            if not resident:
+                continue
+            pop = resident.pop
+            for p in range(first, last + 1):
+                pop(p, None)
         self.bytes_copied += length
         self.calls += 1
-        return cost

@@ -80,5 +80,22 @@ def page_aligned_chunks(
 
 
 def count_page_aligned_chunks(src_addr: int, dst_addr: int, length: int) -> int:
-    """Number of DMA descriptors a copy would need (see above)."""
-    return sum(1 for _ in page_aligned_chunks(src_addr, dst_addr, length))
+    """Number of DMA descriptors a copy would need (see above).
+
+    Closed form — each chunk boundary is a position where the source or the
+    destination crosses a page edge.  The source cuts fall at positions
+    ``pos ≡ -src_off (mod PAGE_SIZE)`` and the destination cuts at
+    ``pos ≡ -dst_off``; the two sets coincide when the offsets are congruent
+    and are disjoint otherwise, so the chunk count is ``cuts + 1`` without
+    walking the range.  This is the per-fragment hot path of the offload
+    planner (one call per pull chunk), hence no generator.
+    """
+    if length <= 0:
+        return 0
+    src_off = src_addr % PAGE_SIZE
+    dst_off = dst_addr % PAGE_SIZE
+    src_cuts = (src_off + length - 1) // PAGE_SIZE
+    if src_off == dst_off:
+        return src_cuts + 1
+    dst_cuts = (dst_off + length - 1) // PAGE_SIZE
+    return src_cuts + dst_cuts + 1

@@ -188,7 +188,7 @@ class NativeMxStack:
         memory shortcut comparable to Open-MX's one-copy model, which is why
         the paper's 2-process-per-node runs favour Open-MX+I/OAT (§IV-D).
         """
-        yield self.sim.timeout(self.params.firmware_frag_cost)
+        yield self.params.firmware_frag_cost  # bare-int sleep (hot path)
         frame = EthernetFrame(
             src_mac=self.host.host_id, dst_mac=pkt.dst.host,
             ethertype=ETHERTYPE_MX, payload=pkt, payload_len=pkt.wire_payload_len,
@@ -196,9 +196,7 @@ class NativeMxStack:
         if pkt.dst.host == self.host.host_id:
             from repro.units import transfer_time
 
-            yield self.sim.timeout(
-                transfer_time(frame.wire_len, self.host.platform.nic.link_bw)
-            )
+            yield transfer_time(frame.wire_len, self.host.platform.nic.link_bw)
             self._rxq.put(frame.payload)
             return None
         egress = self.host.nic._egress
@@ -286,7 +284,7 @@ class NativeMxStack:
     def _firmware_rx_loop(self) -> Generator:
         while True:
             pkt = yield self._rxq.get()
-            yield self.sim.timeout(self.params.firmware_frag_cost)
+            yield self.params.firmware_frag_cost  # bare-int sleep (hot path)
             self._handle(pkt)
 
     def _handle(self, pkt: MxPacket) -> None:

@@ -76,7 +76,7 @@ class EndpointAddr(NamedTuple):
         return f"{self.host}:{self.endpoint}"
 
 
-@dataclass
+@dataclass(slots=True)
 class MxPacket:
     """One MXoE packet."""
 

@@ -27,6 +27,7 @@ makes both the cache and the process pool safe.
 from __future__ import annotations
 
 import concurrent.futures
+import gc
 import hashlib
 import json
 import os
@@ -216,9 +217,26 @@ def point(kind: str, **params) -> tuple[str, dict]:
 
 
 def _execute_point(kind: str, params: dict, phantom_on: bool) -> object:
-    """Run one point (also the process-pool worker entry)."""
-    with phantom.phantom_payloads(phantom_on):
-        return resolve_kind(kind)(**params)
+    """Run one point (also the process-pool worker entry).
+
+    The cyclic GC is paused for the whole point — testbed construction
+    allocates tens of thousands of objects (address spaces, skbuff rings,
+    per-host engines) and triggers generation-0 sweeps that the run loops'
+    own GC pause cannot cover.  A point is bounded work and the model holds
+    no reference cycles worth collecting mid-point; anything cyclic a point
+    leaves behind is reclaimed by the next naturally-triggered collection
+    (an explicit collect here would scan the whole heap once per point,
+    which costs more than the pause saves on many-point sweeps).
+    """
+    was_on = gc.isenabled()
+    if was_on:
+        gc.disable()
+    try:
+        with phantom.phantom_payloads(phantom_on):
+            return resolve_kind(kind)(**params)
+    finally:
+        if was_on:
+            gc.enable()
 
 
 # ---------------------------------------------------------------------------

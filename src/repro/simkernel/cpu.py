@@ -79,8 +79,12 @@ class Core:
         if duration < 0:
             raise ValueError("negative duration")
         if duration:
-            yield self.sim.timeout(duration)
-        self.counters.add(category, duration)
+            # Bare-int sleep: same schedule as `yield sim.timeout(duration)`
+            # with zero Event/Timeout allocation — this line runs once per
+            # simulated work segment, millions of times per figure.
+            yield duration
+        d = self.counters.by_category
+        d[category] = d.get(category, 0) + duration
         if self.profiler is not None:
             self.profiler.record(self, category, phase, duration)
         return self.sim.now
@@ -94,7 +98,8 @@ class Core:
         ticks after the fact (e.g. spinning on DMA completion) — the single
         accounting point shared by the category counters and the profiler.
         """
-        self.counters.add(category, ticks)
+        d = self.counters.by_category
+        d[category] = d.get(category, 0) + ticks
         if self.profiler is not None:
             self.profiler.record(self, category, phase, ticks)
 

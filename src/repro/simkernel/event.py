@@ -71,7 +71,8 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully, scheduling callbacks now."""
-        if self.triggered:
+        # `self.triggered` inlined: succeed() runs once per timeout/grant.
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
         self.sim._dispatch(self)
@@ -79,7 +80,7 @@ class Event:
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception, scheduling callbacks now."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -94,7 +95,7 @@ class Event:
         if self.callbacks is None:
             # Already dispatched: run at the current time via the scheduler
             # so ordering relative to other same-tick work stays FIFO.
-            self.sim._call_soon(lambda: cb(self))
+            self.sim._push(self.sim.now, cb, (self,))
         else:
             self.callbacks.append(cb)
 

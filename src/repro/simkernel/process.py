@@ -6,6 +6,14 @@ triggers, or throws the event's exception into it.  The :class:`Process`
 object is itself an :class:`Event` that succeeds with the generator's return
 value (``StopIteration.value``), so processes can be joined by yielding them.
 
+A generator may also yield a bare non-negative ``int``: sleep that many
+ticks.  This is the allocation-free spelling of ``yield sim.timeout(n)`` —
+no Timeout, no Event and no callback list are created; the process resumes
+through two scheduler entries (the timer firing, then the same-tick resume
+hop), exactly matching the entry count and FIFO position of the Timeout it
+replaces, so schedules are bit-identical either way.  ``Core.busy`` and the
+other per-packet hot loops use it.
+
 Interrupts: :meth:`Process.interrupt` throws :class:`Interrupted` into the
 generator at the current simulation time, detaching it from whatever event it
 was waiting on.  The interrupted process may catch the exception and continue
@@ -14,10 +22,13 @@ was waiting on.  The interrupted process may catch the exception and continue
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.simkernel.errors import Interrupted, SimulationError
 from repro.simkernel.event import _PENDING, Event
+
+from repro.simkernel.scheduler import _WHEEL_MASK, _WHEEL_SHIFT, _WHEEL_SLOTS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.scheduler import Simulator
@@ -26,7 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """A running generator, joinable as an event."""
 
-    __slots__ = ("_gen", "_target", "_waiting_cb")
+    __slots__ = ("_gen", "_target", "_waiting_cb", "_sleep_epoch",
+                 "_fire_cb", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -38,8 +50,17 @@ class Process(Event):
         self._gen = gen
         self._target: Optional[Event] = None
         self._waiting_cb = self._resume
+        #: guards bare-int sleeps against stale timer wakeups: bumped on
+        #: every new sleep and on interrupt delivery, and checked by the
+        #: fire/resume callbacks (the int-sleep analogue of the ``_target``
+        #: identity check)
+        self._sleep_epoch = 0
+        # Prebound sleep callbacks: a bound-method access allocates, and
+        # the fire/resume pair runs twice per sleep on every hot loop.
+        self._fire_cb = self._sleep_fire
+        self._resume_cb = self._sleep_resume
         # Kick off at the current time (same-tick, FIFO with other work).
-        sim._call_soon(lambda: self._step(None, None))
+        sim._push(sim.now, self._step, (None, None))
 
     # -- state -------------------------------------------------------------
 
@@ -87,12 +108,51 @@ class Process(Event):
             self.fail(err)
             return
 
+        if type(target) is int and target >= 0:
+            # Bare-int sleep: two scheduler entries (fire, then a same-tick
+            # resume hop), the exact FIFO shape of the Timeout it replaces.
+            self._sleep_epoch = epoch = self._sleep_epoch + 1
+            sim = self.sim
+            if sim.tiebreak is not None:
+                sim._push(sim.now + target, self._fire_cb, (epoch,))
+                return
+            # _push inlined (FIFO fast path): the sleep push is the single
+            # hottest scheduling operation in the simulator.
+            now = sim.now
+            if target == 0:
+                sim._now_q.append([now, 0, self._fire_cb, (epoch,)])
+                return
+            when = now + target
+            sim._seq += 1
+            entry = [when, sim._seq, self._fire_cb, (epoch,)]
+            tick = when >> _WHEEL_SHIFT
+            if tick - (now >> _WHEEL_SHIFT) < _WHEEL_SLOTS:
+                heappush(sim._wheel[tick & _WHEEL_MASK], entry)
+                sim._wheel_count += 1
+                if sim._wheel_count == 1 or tick < sim._wheel_hint:
+                    sim._wheel_hint = tick
+            else:
+                heappush(sim._heap, entry)
+            return
+        self._resolve_target(target)
+
+    def _resolve_target(self, target: object) -> None:
+        # Non-sleep yield targets (and the negative-sleep error), shared by
+        # _step and the inlined dispatch in _sleep_resume.
+        if type(target) is int:
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded negative sleep {target}"
+                )
+            )
+            return
         if not isinstance(target, Event):
             self._gen.close()
             self.fail(
                 SimulationError(
                     f"process {self.name!r} yielded {target!r}; processes must "
-                    "yield Event instances"
+                    "yield Event instances or int sleep durations"
                 )
             )
             return
@@ -102,6 +162,60 @@ class Process(Event):
             return
         self._target = target
         target.add_callback(self._waiting_cb)
+
+    def _sleep_fire(self, epoch: int) -> None:
+        # The timer leg of a bare-int sleep (stands in for Timeout.succeed).
+        if epoch != self._sleep_epoch or self._value is not _PENDING or self._exc is not None:
+            return  # interrupted (or finished) while asleep: stale timer
+        sim = self.sim
+        if sim.tiebreak is None:
+            # Same-tick push inlined (this is the hottest single action in
+            # the simulator); the keyed path must still see every tie.
+            sim._now_q.append([sim.now, 0, self._resume_cb, (epoch,)])
+        else:
+            sim._push(sim.now, self._resume_cb, (epoch,))
+
+    def _sleep_resume(self, epoch: int) -> None:
+        # The same-tick dispatch leg (stands in for the callback-run hop).
+        if epoch != self._sleep_epoch or self._value is not _PENDING or self._exc is not None:
+            return
+        # _step(None, None) inlined: sleep resumes are the single most
+        # frequent dispatch in the simulator, and most resume straight into
+        # the next bare-int sleep — skip the extra frame on that chain.
+        try:
+            target = self._gen.send(None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted as uncaught:
+            self.fail(uncaught)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+        if type(target) is int and target >= 0:
+            self._sleep_epoch = epoch = self._sleep_epoch + 1
+            sim = self.sim
+            if sim.tiebreak is not None:
+                sim._push(sim.now + target, self._fire_cb, (epoch,))
+                return
+            now = sim.now
+            if target == 0:
+                sim._now_q.append([now, 0, self._fire_cb, (epoch,)])
+                return
+            when = now + target
+            sim._seq += 1
+            entry = [when, sim._seq, self._fire_cb, (epoch,)]
+            tick = when >> _WHEEL_SHIFT
+            if tick - (now >> _WHEEL_SHIFT) < _WHEEL_SLOTS:
+                heappush(sim._wheel[tick & _WHEEL_MASK], entry)
+                sim._wheel_count += 1
+                if sim._wheel_count == 1 or tick < sim._wheel_hint:
+                    sim._wheel_hint = tick
+            else:
+                heappush(sim._heap, entry)
+            return
+        self._resolve_target(target)
 
     # -- interrupts ----------------------------------------------------------
 
@@ -114,8 +228,10 @@ class Process(Event):
             if self.triggered:
                 return
             # Detach from the current wait; a stale wakeup is filtered in
-            # _resume by the identity check on _target.
+            # _resume by the identity check on _target, and a pending
+            # int-sleep timer by the epoch bump.
             self._target = None
+            self._sleep_epoch += 1
             self._step(None, Interrupted(cause))
 
         self.sim._call_soon(deliver)

@@ -134,7 +134,8 @@ class Store:
         if self._items:
             item = self._items.popleft()
             ev.succeed(item)
-            self._drain_putters()
+            if self._putters:
+                self._drain_putters()
         else:
             self._getters.append(ev)
         return ev
@@ -143,7 +144,8 @@ class Store:
         """Non-blocking get; returns ``(ok, item)``."""
         if self._items:
             item = self._items.popleft()
-            self._drain_putters()
+            if self._putters:
+                self._drain_putters()
             return True, item
         return False, None
 

@@ -1,10 +1,11 @@
-"""The event loop: a heap of (time, tie key, action) triples.
+"""The event loop: a timer wheel + now-queue in front of a binary heap.
 
-Two kinds of entries live on the heap:
+Entries are ``[when, seq, fn, args]`` lists; ``fn(*args)`` runs at absolute
+time ``when``.  Two kinds of actions dominate:
 
-* *timeouts* — trigger an :class:`Event` at an absolute time;
+* *timeouts* — trigger an :class:`Event` at a future time;
 * *dispatches* — run the callback list of an already-triggered event, or a
-  bare thunk (used for same-tick callback registration on triggered events).
+  bare callable, at the *current* time.
 
 Ties at equal times fire in scheduling order (monotonic sequence numbers), so
 the simulation is deterministic regardless of hash ordering or allocation
@@ -12,18 +13,85 @@ addresses.  That FIFO order is the *documented* tie-break — and the only
 schedule property layers above are allowed to rely on.  The tie-break is
 pluggable (:mod:`repro.simkernel.tiebreak`): the race detector replays
 scenarios under seeded permutations of same-timestamp ties to prove no
-hidden schedule dependency crept in.  Without a policy the heap tuples and
-the push path are byte-for-byte the historical FIFO ones.
+hidden schedule dependency crept in.
+
+Storage is split three ways, FIFO-equivalent to a single seq-keyed heap:
+
+* **now-queue** — a deque for entries pushed at exactly the current time
+  (the same-tick dispatch hop: event callbacks, ``call_soon``).  Batched
+  dispatch drains it without any heap traffic.  Correct because an entry
+  pushed *at* time T was pushed *during* tick T, hence after — and with a
+  larger sequence number than — every heap/wheel entry scheduled *for* T,
+  all of which were pushed while ``now < T``.  So draining all scheduled
+  entries at T first, then the now-queue in append order, is exactly the
+  global ``(when, seq)`` order.
+* **timer wheel** — 256 slots of 4096 ns for near-future timeouts (the
+  overwhelmingly common case: serialization times, link delays, busy
+  periods).  Each slot is a tiny heap, so pushes and pops touch a handful
+  of entries instead of re-heapifying the global queue per event.  An
+  entry goes to the wheel iff its slot tick is less than 256 slots ahead
+  of the current one, which makes slot indices unique among live entries.
+* **heap** — far-horizon entries (retransmit/watchdog timers) spill to the
+  classic binary heap.  For one target time T, every heap entry was pushed
+  while T was ≥ the horizon away and every wheel entry while T was nearer,
+  so all heap entries at T precede all wheel entries at T in push order —
+  a plain ``(when, seq)`` comparison between the two tops merges them in
+  exact FIFO order.
+
+When a tie-break policy is installed the fast containers are bypassed
+entirely: every push goes through the policy-keyed heap and the legacy
+drain loop runs, so permutation replays see every same-timestamp tie.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
+from collections import deque
 from typing import Callable, Generator, Optional
 
 from repro.simkernel.errors import SimulationError
 from repro.simkernel.event import _PENDING, Event, Timeout
+
+#: timer-wheel geometry: 256 slots of 2**12 ns (~4.1 us) — a ~1 ms horizon.
+_WHEEL_SHIFT = 12
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+
+def _run_callbacks(ev: Event, callbacks: list) -> None:
+    """Dispatch hop for events with more than one waiter."""
+    for cb in callbacks:
+        cb(ev)
+
+
+class TimerHandle:
+    """Cancellable handle returned by :meth:`Simulator.schedule`.
+
+    Cancellation tombstones the entry in place (the containers skip dead
+    entries at drain time, uncounted and unlogged); it does not remove it,
+    so cancel is O(1) and never perturbs live-entry order.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the action from running.  Idempotent; no-op once fired."""
+        e = self._entry
+        e[2] = None
+        e[3] = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
+
+    @property
+    def when(self) -> int:
+        return self._entry[0]
 
 
 class Simulator:
@@ -43,7 +111,15 @@ class Simulator:
 
     def __init__(self, tiebreak: Optional[object] = None) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._heap: list[list] = []
+        #: same-tick entries (pushed at ``when == now``), drained FIFO
+        self._now_q: deque[list] = deque()
+        #: near-future entries, radix-partitioned into per-slot mini-heaps
+        self._wheel: list[list[list]] = [[] for _ in range(_WHEEL_SLOTS)]
+        #: live + tombstoned entries currently in the wheel
+        self._wheel_count: int = 0
+        #: lower bound on the slot tick of the earliest wheel entry
+        self._wheel_hint: int = 0
         self._seq: int = 0
         self._running = False
         #: number of events processed; useful for runaway detection in tests
@@ -63,17 +139,21 @@ class Simulator:
         self.tiebreak = tiebreak
         if tiebreak is not None:
             # Shadow the class push with a keyed closure on this instance
-            # only, so FIFO simulators never pay for the indirection.
+            # only, so FIFO simulators never pay for the indirection.  The
+            # keyed path routes *everything* (including same-tick pushes)
+            # through the heap so the policy sees every tie.
             key = tiebreak.key
             heap = self._heap
 
-            def push_keyed(when: int, action: Callable[[], None]) -> None:
+            def push_keyed(when: int, fn: Callable, args: tuple = ()) -> list:
                 if when < self.now:
                     raise SimulationError(
                         f"cannot schedule in the past ({when} < {self.now})"
                     )
                 self._seq += 1
-                heapq.heappush(heap, (when, key(self._seq), action))
+                entry = [when, key(self._seq), fn, args]
+                heapq.heappush(heap, entry)
+                return entry
 
             self._push = push_keyed
 
@@ -113,23 +193,32 @@ class Simulator:
 
     # -- internal scheduling ----------------------------------------------
 
-    def _push(self, when: int, action: Callable[[], None]) -> None:
-        if when < self.now:
-            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+    def _push(self, when: int, fn: Callable, args: tuple = ()) -> list:
+        now = self.now
+        if when <= now:
+            if when < now:
+                raise SimulationError(
+                    f"cannot schedule in the past ({when} < {now})"
+                )
+            entry = [when, 0, fn, args]
+            self._now_q.append(entry)
+            return entry
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, action))
+        entry = [when, self._seq, fn, args]
+        tick = when >> _WHEEL_SHIFT
+        if tick - (now >> _WHEEL_SHIFT) < _WHEEL_SLOTS:
+            heapq.heappush(self._wheel[tick & _WHEEL_MASK], entry)
+            self._wheel_count += 1
+            if self._wheel_count == 1 or tick < self._wheel_hint:
+                self._wheel_hint = tick
+        else:
+            heapq.heappush(self._heap, entry)
+        return entry
 
     def _schedule_timeout(self, ev: Event, delay: int, value: object) -> None:
-        if value is None:
-            # Hot path: succeed() defaults its value to None, so the bound
-            # method can go on the heap directly — no closure per timeout.
-            self._push(self.now + delay, ev.succeed)
-            return
-
-        def fire() -> None:
-            ev.succeed(value)
-
-        self._push(self.now + delay, fire)
+        # succeed() defaults its value to None, so the bound method goes on
+        # the heap directly with the value as its argument — no closure.
+        self._push(self.now + delay, ev.succeed, (value,))
 
     def _dispatch(self, ev: Event) -> None:
         """Queue a triggered event's callbacks to run at the current time."""
@@ -140,12 +229,18 @@ class Simulator:
             # skip the empty dispatch hop.  Late add_callback still works —
             # it self-schedules through _call_soon.
             return
-
-        def run() -> None:
-            for cb in callbacks:
-                cb(ev)
-
-        self._push(self.now, run)
+        if len(callbacks) == 1:
+            # The common case (one waiting process): the callback itself is
+            # the dispatch action.
+            fn, args = callbacks[0], (ev,)
+        else:
+            fn, args = _run_callbacks, (ev, callbacks)
+        if self.tiebreak is None:
+            # Same-tick push inlined (skips _push's routing): dispatch hops
+            # always target the now-queue on the FIFO fast path.
+            self._now_q.append([self.now, 0, fn, args])
+        else:
+            self._push(self.now, fn, args)
 
     def _call_soon(self, thunk: Callable[[], None]) -> None:
         """Run ``thunk`` at the current simulation time, after queued work."""
@@ -153,49 +248,325 @@ class Simulator:
 
     # -- lightweight scheduling (fast paths) --------------------------------
 
-    def call_at(self, when: int, fn: Callable[[], None]) -> None:
-        """Run bare callable ``fn`` at absolute time ``when``.
+    def call_at(self, when: int, fn: Callable, *args: object) -> None:
+        """Run ``fn(*args)`` at absolute time ``when``.
 
         The zero-cost alternative to spawning a :class:`Process` for
-        fire-and-forget work (link delivery, NIC TX completion): one heap
-        entry, no generator, no Event allocation.  ``fn`` takes no arguments
-        and its return value is ignored; an exception aborts the simulation
-        (same contract as a daemon).
+        fire-and-forget work (link delivery, NIC TX completion, DMA
+        retirement): one scheduler entry, no generator, no Event and no
+        closure allocation.  The return value is ignored; an exception
+        aborts the simulation (same contract as a daemon).
         """
-        self._push(when, fn)
+        self._push(when, fn, args)
 
-    def call_soon(self, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at the current time, FIFO after already-queued work."""
-        self._push(self.now, fn)
+    def call_soon(self, fn: Callable, *args: object) -> None:
+        """Run ``fn(*args)`` at the current time, FIFO after queued work."""
+        self._push(self.now, fn, args)
+
+    def schedule(self, when: int, fn: Callable, *args: object) -> TimerHandle:
+        """Like :meth:`call_at`, but returns a cancellable handle.
+
+        Meant for timers that are usually cancelled before they fire
+        (watchdogs, retransmit deadlines); the hot fire-and-forget paths
+        use :meth:`call_at`, which allocates no handle.
+        """
+        return TimerHandle(self._push(when, fn, args))
 
     # -- run loop ----------------------------------------------------------
 
+    def _next_entry(self) -> tuple[Optional[list], bool]:
+        """Peek the earliest scheduled (wheel/heap) entry.
+
+        Returns ``(entry, from_wheel)``; tombstones are *not* skipped here —
+        the drain loops pop and discard them (uncounted).  The plain
+        ``(when, seq)`` comparison between the wheel top and the heap top
+        is exact FIFO: for any target time, heap entries (pushed while the
+        time was beyond the horizon) always predate wheel entries.
+        """
+        wtop = None
+        if self._wheel_count:
+            wheel = self._wheel
+            tick = self._wheel_hint
+            slot = wheel[tick & _WHEEL_MASK]
+            while not slot:
+                tick += 1
+                slot = wheel[tick & _WHEEL_MASK]
+            self._wheel_hint = tick
+            wtop = slot[0]
+        heap = self._heap
+        if not heap:
+            return (wtop, True) if wtop is not None else (None, False)
+        htop = heap[0]
+        if wtop is None or htop < wtop:
+            return htop, False
+        return wtop, True
+
+    def _pop_top(self, from_wheel: bool) -> None:
+        if from_wheel:
+            heapq.heappop(self._wheel[self._wheel_hint & _WHEEL_MASK])
+            self._wheel_count -= 1
+        else:
+            heapq.heappop(self._heap)
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+        """Run until the queues drain, ``until`` is reached, or ``max_events``.
 
         Returns the simulation time when the loop stopped.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if self.tiebreak is not None:
+            return self._run_keyed(until, max_events)
+        self._running = True
+        count = 0
+        t0 = time.perf_counter()
+        nq = self._now_q
+        wheel = self._wheel
+        heap = self._heap
+        heappop = heapq.heappop
+        log = self._schedule_log
+        limit = max_events if max_events is not None else float("inf")
+        # The drain loop allocates heavily (entry lists, generator frames)
+        # but holds no cycles long enough to matter: pausing the cyclic GC
+        # for the duration avoids collector sweeps mid-simulation.  Refcount
+        # reclamation is unaffected; the pause nests safely (inner loops see
+        # the collector already off and leave it off).
+        gc_was_on = gc.isenabled()
+        if gc_was_on:
+            gc.disable()
+        try:
+            while True:
+                now = self.now
+                # 1a) far-horizon (heap) entries due now.  Every heap entry
+                #     at time T predates every wheel entry at T (it was
+                #     pushed while T was beyond the horizon, hence earlier,
+                #     hence with a smaller seq), so the whole heap batch
+                #     runs first and no cross-container compare is needed.
+                #     New pushes during a callback are strictly future
+                #     (when > now routes to wheel/heap, when == now to the
+                #     now-queue), so neither batch can grow while draining.
+                while heap:
+                    top = heap[0]
+                    if top[0] != now:
+                        break
+                    heappop(heap)
+                    fn = top[2]
+                    if fn is None:
+                        continue  # cancelled: uncounted tombstone
+                    if log is not None:
+                        log.append((now, _action_label(fn)))
+                    fn(*top[3])
+                    count += 1
+                    if count >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; possible livelock"
+                        )
+                # 1b) wheel entries due now: all in the hint slot (equal
+                #     when ⇒ equal slot tick), drained in (when, seq) order
+                #     by the slot mini-heap.
+                if self._wheel_count:
+                    tick = self._wheel_hint
+                    slot = wheel[tick & _WHEEL_MASK]
+                    while not slot:
+                        tick += 1
+                        slot = wheel[tick & _WHEEL_MASK]
+                    self._wheel_hint = tick
+                    while slot:
+                        top = slot[0]
+                        if top[0] != now:
+                            break
+                        heappop(slot)
+                        self._wheel_count -= 1
+                        fn = top[2]
+                        if fn is None:
+                            continue
+                        if log is not None:
+                            log.append((now, _action_label(fn)))
+                        fn(*top[3])
+                        count += 1
+                        if count >= limit:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; possible livelock"
+                            )
+                # 2) the now-queue: same-tick pushes, batched FIFO drain.
+                #    Entries appended while draining run in this same batch;
+                #    nothing new can enter the wheel/heap *at* the current
+                #    time, so the two phases never interleave.
+                while nq:
+                    e = nq.popleft()
+                    fn = e[2]
+                    if fn is None:
+                        continue
+                    if log is not None:
+                        log.append((now, _action_label(fn)))
+                    fn(*e[3])
+                    count += 1
+                    if count >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; possible livelock"
+                        )
+                # 3) advance to the next scheduled time (or stop).  The peek
+                #    must be fresh: the same-tick batch may have scheduled
+                #    entries earlier than anything seen above.  Tombstones
+                #    are discarded here rather than advanced onto: the
+                #    historical loop never set the clock for a cancelled
+                #    entry, so a drain that ends on pure tombstones must
+                #    leave ``now`` at the last *live* action's time.
+                while True:
+                    top, from_wheel = self._next_entry()
+                    if top is None or top[2] is not None:
+                        break
+                    self._pop_top(from_wheel)
+                if top is None:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                if until is not None and top[0] > until:
+                    self.now = until
+                    break
+                self.now = top[0]
+        finally:
+            if gc_was_on:
+                gc.enable()
+            self._running = False
+            self.wall_seconds += time.perf_counter() - t0
+            self.events_processed += count
+            Simulator.events_total += count
+        return self.now
+
+    def run_until(self, ev: Event, max_events: Optional[int] = None) -> object:
+        """Run until ``ev`` triggers; return its value (or raise its error)."""
+        if self.tiebreak is not None:
+            return self._run_until_keyed(ev, max_events)
+        count = 0
+        t0 = time.perf_counter()
+        nq = self._now_q
+        wheel = self._wheel
+        heap = self._heap
+        heappop = heapq.heappop
+        log = self._schedule_log
+        limit = max_events if max_events is not None else float("inf")
+        #: False once the scheduled containers are known drained at `now`;
+        #: stays valid within the tick because a push at the current time
+        #: can only land on the now-queue, so the per-action wheel/heap peek
+        #: is skipped for the whole same-tick dispatch batch.
+        due = True
+        gc_was_on = gc.isenabled()
+        if gc_was_on:
+            gc.disable()
+        try:
+            # `ev._value is _PENDING and ev._exc is None` is Event.triggered
+            # inlined: this loop runs once per simulation event, and the
+            # property call is measurable at fig. 11 event counts.
+            while ev._value is _PENDING and ev._exc is None:
+                if due:
+                    now = self.now
+                    # Far-horizon (heap) entries due now run before every
+                    # wheel entry at the same time (smaller seqs: they were
+                    # pushed while the time was beyond the horizon), so an
+                    # int compare on the heap top replaces the cross-
+                    # container (when, seq) merge.
+                    if heap and heap[0][0] == now:
+                        top = heappop(heap)
+                        fn = top[2]
+                        if fn is None:
+                            continue
+                        args = top[3]
+                    else:
+                        wtop = None
+                        if self._wheel_count:
+                            tick = self._wheel_hint
+                            slot = wheel[tick & _WHEEL_MASK]
+                            while not slot:
+                                tick += 1
+                                slot = wheel[tick & _WHEEL_MASK]
+                            self._wheel_hint = tick
+                            wtop = slot[0]
+                        if wtop is None or wtop[0] != now:
+                            due = False
+                            continue
+                        heappop(slot)
+                        self._wheel_count -= 1
+                        fn = wtop[2]
+                        if fn is None:
+                            continue
+                        args = wtop[3]
+                elif nq:
+                    e = nq.popleft()
+                    fn = e[2]
+                    if fn is None:
+                        continue
+                    args = e[3]
+                else:
+                    # Tick exhausted: advance.  Re-peek (inlined _next_entry)
+                    # — the same-tick batch may have scheduled entries
+                    # earlier than the stale top; only the minimum `when`
+                    # matters here, so ints compare instead of entries.
+                    when = None
+                    if self._wheel_count:
+                        tick = self._wheel_hint
+                        slot = wheel[tick & _WHEEL_MASK]
+                        while not slot:
+                            tick += 1
+                            slot = wheel[tick & _WHEEL_MASK]
+                        self._wheel_hint = tick
+                        when = slot[0][0]
+                    if heap:
+                        hwhen = heap[0][0]
+                        if when is None or hwhen < when:
+                            when = hwhen
+                    if when is None:
+                        raise SimulationError(
+                            f"deadlock: event {ev!r} cannot trigger, no pending events"
+                        )
+                    self.now = when
+                    due = True
+                    continue
+                if log is not None:
+                    log.append((self.now, _action_label(fn)))
+                fn(*args)
+                count += 1
+                if count >= limit:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            if gc_was_on:
+                gc.enable()
+            self.wall_seconds += time.perf_counter() - t0
+            self.events_processed += count
+            Simulator.events_total += count
+        return ev.value
+
+    # -- keyed (tie-break policy) run loops ---------------------------------
+    #
+    # With a policy installed every entry lives on the single keyed heap;
+    # these are the historical drain loops, kept verbatim so permutation
+    # replays exercise exactly the documented semantics.
+
+    def _run_keyed(self, until: Optional[int], max_events: Optional[int]) -> int:
         self._running = True
         count = 0
         t0 = time.perf_counter()
         heap = self._heap
         pop = heapq.heappop
         log = self._schedule_log
+        limit = max_events if max_events is not None else float("inf")
         try:
             while heap:
-                when, _seq, action = heap[0]
+                top = heap[0]
+                when = top[0]
                 if until is not None and when > until:
                     self.now = until
                     break
                 pop(heap)
+                fn = top[2]
+                if fn is None:
+                    continue
                 self.now = when
                 if log is not None:
-                    log.append((when, _action_label(action)))
-                action()
+                    log.append((when, _action_label(fn)))
+                fn(*top[3])
                 count += 1
-                if max_events is not None and count >= max_events:
+                if count >= limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; possible livelock"
                     )
@@ -209,27 +580,27 @@ class Simulator:
             Simulator.events_total += count
         return self.now
 
-    def run_until(self, ev: Event, max_events: Optional[int] = None) -> object:
-        """Run until ``ev`` triggers; return its value (or raise its error)."""
+    def _run_until_keyed(self, ev: Event, max_events: Optional[int]) -> object:
         count = 0
         t0 = time.perf_counter()
         heap = self._heap
         pop = heapq.heappop
         log = self._schedule_log
+        limit = max_events if max_events is not None else float("inf")
         try:
-            # `ev._value is _PENDING and ev._exc is None` is Event.triggered
-            # inlined: this loop runs once per simulation event, and the
-            # property call is measurable at fig. 11 event counts.
             while ev._value is _PENDING and ev._exc is None:
                 if not heap:
                     raise SimulationError(
                         f"deadlock: event {ev!r} cannot trigger, no pending events"
                     )
-                when, _seq, action = pop(heap)
-                self.now = when
+                top = pop(heap)
+                fn = top[2]
+                if fn is None:
+                    continue
+                self.now = top[0]
                 if log is not None:
-                    log.append((when, _action_label(action)))
-                action()
+                    log.append((top[0], _action_label(fn)))
+                fn(*top[3])
                 count += 1
                 if max_events is not None and count >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
@@ -240,8 +611,22 @@ class Simulator:
         return ev.value
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled action, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next scheduled action, or None if nothing is pending.
+
+        Pops tombstoned (cancelled) entries it meets, so the answer is the
+        next *live* action time.
+        """
+        for e in self._now_q:
+            if e[2] is not None:
+                return self.now
+        while True:
+            top, from_wheel = self._next_entry()
+            if top is None:
+                return None
+            if top[2] is None:
+                self._pop_top(from_wheel)
+                continue
+            return top[0]
 
     def record_schedule(self) -> list[tuple[int, str]]:
         """Start logging every executed action as ``(time, label)``.
@@ -276,8 +661,8 @@ class Simulator:
             check()
 
 
-def _action_label(action: Callable[[], None]) -> str:
-    """Stable-ish label for a heap action (schedule-log entries)."""
+def _action_label(action: Callable) -> str:
+    """Stable-ish label for a scheduled action (schedule-log entries)."""
     label = getattr(action, "__qualname__", None)
     if label is not None:
         return label

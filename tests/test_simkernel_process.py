@@ -63,11 +63,79 @@ class TestProcess:
 
     def test_yield_non_event_fails_process(self, sim):
         def bad():
-            yield 42  # type: ignore[misc]
+            yield "not an event"  # type: ignore[misc]
 
         p = sim.process(bad())
         sim.run()
         assert isinstance(p.exception, SimulationError)
+
+    def test_yield_int_sleeps(self, sim):
+        """A bare non-negative int yield sleeps that many ticks."""
+        trail = []
+
+        def sleeper():
+            yield 42
+            trail.append(sim.now)
+            yield 0  # zero-tick sleep: same-tick reschedule, still legal
+            trail.append(sim.now)
+            return "done"
+
+        p = sim.process(sleeper())
+        assert sim.run_until(p) == "done"
+        assert trail == [42, 42]
+
+    def test_yield_negative_int_fails_process(self, sim):
+        def bad():
+            yield -1
+
+        p = sim.process(bad())
+        sim.run()
+        assert isinstance(p.exception, SimulationError)
+
+    def test_int_sleep_matches_timeout_schedule(self):
+        """`yield n` and `yield sim.timeout(n)` produce identical schedules."""
+        from repro.simkernel.scheduler import Simulator
+
+        def workload(sim, use_int):
+            def proc(tag):
+                for i in range(5):
+                    if use_int:
+                        yield 7 + i
+                    else:
+                        yield sim.timeout(7 + i)
+                    order.append((tag, sim.now))
+
+            order = []
+            for tag in range(3):
+                sim.process(proc(tag))
+            sim.run()
+            return order, sim.events_processed
+
+        a = workload(Simulator(), True)
+        b = workload(Simulator(), False)
+        assert a == b
+
+    def test_interrupt_cancels_int_sleep(self, sim):
+        trail = []
+
+        def sleeper():
+            try:
+                yield 1000
+                trail.append(("woke", sim.now))
+            except Interrupted:
+                trail.append(("interrupted", sim.now))
+                yield 5
+                trail.append(("slept again", sim.now))
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(10)
+            p.interrupt("stop")
+
+        sim.process(interrupter())
+        sim.run()
+        assert trail == [("interrupted", 10), ("slept again", 15)]
 
     def test_wait_on_self_fails(self, sim):
         holder = {}

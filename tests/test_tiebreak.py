@@ -44,8 +44,14 @@ def test_default_path_is_untouched():
     sim = Simulator()
     assert "_push" not in sim.__dict__  # class method, not a closure
     sim.call_at(5, lambda: None)
-    when, key, _action = sim._heap[0]
-    assert (when, key) == (5, 1)  # historical (time, seq) tuple
+    # Near-future entries land in the timer wheel; the key is still the
+    # historical (time, seq) pair with a plain int sequence number.
+    when, key, _fn, _args = sim._wheel[(5 >> 12) & 255][0]
+    assert (when, key) == (5, 1)
+    # Far-horizon entries spill to the binary heap with the same key shape.
+    sim.call_at(10_000_000, lambda: None)
+    when, key, _fn, _args = sim._heap[0]
+    assert (when, key) == (10_000_000, 2)
 
 
 def test_explicit_fifo_matches_default():
