@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     dma001,
     gen001,
     hlt001,
+    off001,
     ord001,
     race001,
     sim001,
@@ -19,4 +20,4 @@ from repro.analysis.rules import (
 )
 
 __all__ = ["skb001", "dma001", "sim001", "unit001", "gen001", "hlt001",
-           "race001", "det002", "ord001"]
+           "race001", "det002", "ord001", "off001"]

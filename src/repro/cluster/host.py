@@ -61,6 +61,10 @@ class Host:
 
         self.ioat_engine = IoatEngine(sim, hp.ioat, caches=self.caches)
         self.ioat = IoatDmaApi(self.ioat_engine)
+        #: DMA lanes created by copy backends after host construction
+        #: (repro.core.backends); fault injectors and sanitizers enumerate
+        #: these exactly like the engine's own channels
+        self.extra_dma_channels: list = []
 
         self.kernel_space = AddressSpace(f"{self.name}.kernel")
         self.skb_pool = SkbuffPool(self.kernel_space)

@@ -1,0 +1,47 @@
+"""The CPU-copy baseline as a backend: never offloads.
+
+Selecting ``copy_backend="memcpy"`` makes :meth:`~repro.core.offload.
+OffloadManager.should_offload` answer False for every fragment, so the
+manager's synchronous memcpy path (the paper's non-I/OAT curves) runs —
+one backend name per column in the engine shootout, including the
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.backends.base import CopyBackend, register_backend
+from repro.memory.layout import count_page_aligned_chunks
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.cpu import Core
+
+
+@register_backend
+class MemcpyBackend(CopyBackend):
+    """No engine: every fragment is copied synchronously on the CPU."""
+
+    name = "memcpy"
+    offloads = False
+
+    def fragment_cost(self, src_addr: int, dst_addr: int,
+                      length: int) -> tuple[int, int]:
+        """All CPU, no engine: per-chunk setup plus the uncached move."""
+        mp = self.host.params.memcpy
+        n_chunks = count_page_aligned_chunks(src_addr, dst_addr, length)
+        move = int(round(length * SEC / mp.uncached_bw))
+        return n_chunks * mp.setup_cost + move, 0
+
+    def submit_fragment(self, core: "Core", state, skb, skb_off, dst,
+                        dst_off, length):
+        raise RuntimeError("memcpy backend never offloads")
+        yield  # pragma: no cover - makes this a generator like its peers
+
+    def drain_state(self, core: "Core", state):
+        return
+        yield  # pragma: no cover
+
+    def reap_state(self, state) -> None:
+        pass

@@ -164,7 +164,8 @@ class KernelMatcher:
             # The library must not match this request a second time.
             ep.remove_posted(posted.req)
             offload = None
-            if self.config.ioat_enabled and not self.config.ignore_bh_copy:
+            if (self.config.ioat_enabled and not self.config.ignore_bh_copy
+                    and self.driver.offload.backend.offloads):
                 offload = self.driver.offload.new_message_state()
             asm = _KernelAssembly(posted, pkt.src, pkt.msg_id, pkt.msg_len, offload)
             if pkt.frag_count > 1:
@@ -175,23 +176,18 @@ class KernelMatcher:
         n = min(pkt.data_length, max(req.length - pkt.offset, 0))
         offloaded = False
         if n and not self.config.ignore_bh_copy:
+            backend = self.driver.offload.backend
             if (
                 asm.offload is not None
-                and n >= self.config.ioat_min_frag
+                and not asm.offload.memcpy_only
+                and n >= backend.min_frag(self.config)
                 and asm.offload.pending_count < self.config.max_pending_skbuffs
                 and pkt.frag_index < pkt.frag_count - 1
             ):
-                cookie = yield from self.host.ioat.submit_copy(
-                    core, skb.head, 0, req.region, req.offset + pkt.offset, n,
-                    "bh", channel=asm.offload.channel,
+                yield from backend.submit_fragment(
+                    core, asm.offload, skb, 0, req.region,
+                    req.offset + pkt.offset, n,
                 )
-                from repro.core.offload import PendingCopy
-
-                asm.offload.pending.append(
-                    PendingCopy(cookie, skb, 0, req.region,
-                                req.offset + pkt.offset, n)
-                )
-                asm.offload.offloaded_bytes += n
                 self.frags_offloaded += 1
                 offloaded = True
             else:

@@ -9,26 +9,30 @@ For each large-message fragment arriving in the BH, decide:
   each) on the message's assigned DMA channel and release the CPU at once;
   the skbuff stays alive until the hardware finishes (§III-A, Fig. 6).
 
-Resource tracking (§III-B): pending (skbuff, cookie) pairs are kept per
-message; :meth:`OffloadManager.cleanup` polls the channel once and frees the
+Resource tracking (§III-B): pending (skbuff, ticket) pairs are kept per
+message; :meth:`OffloadManager.cleanup` polls the backend once and frees the
 skbuffs of every completed copy.  It is called whenever a new pull block is
 requested and when the retransmission timer fires — bounding the pool of
 queued skbuffs.  ``max_pending_skbuffs`` is a hard cap: beyond it the
 fragment is copied synchronously instead (memory-starvation guard).
+
+Since DESIGN.md §15 the engine itself is pluggable: the manager decides
+*whether* to copy on the CPU (policy, thresholds, breaker gating, healing)
+while a :class:`~repro.core.backends.CopyBackend` decides *how* an
+offloaded fragment is executed (which lanes, what submission shape).  The
+``"ioat"`` backend reproduces the paper's engine schedule-identically.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.core.backends import create_backend
 from repro.ethernet.skbuff import Skbuff
-from repro.ioat.api import DmaCookie
 from repro.ioat.channel import DmaChannel
-from repro.ioat.descriptor import CopyDescriptor
 from repro.memory.buffers import MemoryRegion
-from repro.memory.layout import count_page_aligned_chunks, page_aligned_chunks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.host import Host
@@ -46,7 +50,9 @@ class PendingCopy:
     completes, just without the offload win).
     """
 
-    cookie: DmaCookie
+    #: completion handle: a DmaCookie or a multi-lane LaneTicket — both
+    #: expose ``done`` / ``failed`` / ``channel``
+    cookie: object
     skb: Skbuff
     skb_off: int
     dst: MemoryRegion
@@ -62,6 +68,11 @@ class MessageOffloadState:
         self.pending: deque[PendingCopy] = deque()
         self.offloaded_bytes = 0
         self.copied_bytes = 0
+        #: every breaker was open at assignment time: copy this whole
+        #: message on the CPU instead of submitting to a tripped channel
+        self.memcpy_only = False
+        #: backend-private per-message scratch (e.g. a lane-striping cursor)
+        self.backend_state = None
 
     @property
     def pending_count(self) -> int:
@@ -74,6 +85,8 @@ class OffloadManager:
     def __init__(self, host: "Host", config: "OmxConfig"):
         self.host = host
         self.config = config
+        #: the engine executing offloaded copies (DESIGN.md §15)
+        self.backend = create_backend(host, config)
         # statistics
         self.frags_offloaded = 0
         self.frags_memcpy = 0
@@ -86,6 +99,8 @@ class OffloadManager:
         self.breaker_shortcircuits = 0
         #: messages steered off a tripped channel at assignment time
         self.breaker_reroutes = 0
+        #: messages degraded to memcpy because every breaker was open
+        self.breaker_exhausted = 0
 
     def register_metrics(self, reg) -> None:
         """Publish offload decisions into a metrics registry."""
@@ -106,6 +121,10 @@ class OffloadManager:
         reg.counter("offload", "offload_breaker_reroutes",
                     lambda: self.breaker_reroutes,
                     "messages assigned away from a tripped channel")
+        reg.counter("offload", "offload_breaker_exhausted",
+                    lambda: self.breaker_exhausted,
+                    "messages degraded to memcpy with every breaker open")
+        self.backend.register_metrics(reg)
 
     # -- policy -------------------------------------------------------------
 
@@ -113,21 +132,44 @@ class OffloadManager:
         """Per-message context; channels are assigned round-robin per
         message (§V: one channel per message), steering around channels
         whose circuit breaker is open."""
-        channel = self.host.ioat_engine.allocate_channel()
+        engine = self.backend.engine
+        channel = engine.allocate_channel()
         health = self.host.health
         if health is not None and not health.allows_offload(channel):
-            for candidate in self.host.ioat_engine.channels:
+            # Continue the round-robin draw instead of restarting the scan
+            # from channels[0], which herded every rerouted message onto
+            # the first healthy channel: drawing keeps advancing the
+            # cursor, so rerouted messages spread over all healthy
+            # channels.  At most n-1 further draws — each channel is seen
+            # once.
+            for _ in range(len(engine.channels) - 1):
+                candidate = engine.allocate_channel()
                 if health.allows_offload(candidate):
-                    channel = candidate
                     self.breaker_reroutes += 1
-                    break
+                    return MessageOffloadState(candidate)
+            # Every breaker is open: degrade the whole message to memcpy
+            # rather than silently submitting to a tripped channel.
+            self.breaker_exhausted += 1
+            state = MessageOffloadState(channel)
+            state.memcpy_only = True
+            return state
         return MessageOffloadState(channel)
 
     def should_offload(self, state: MessageOffloadState, msg_len: int, frag_len: int) -> bool:
         """The §IV-A thresholds, gated by the channel's circuit breaker."""
         if not self.config.ioat_enabled or self.config.ignore_bh_copy:
             return False
+        backend = self.backend
+        if not backend.offloads:
+            return False
         health = self.host.health
+        if state.memcpy_only:
+            # Assignment found every breaker open.  Each refused fragment
+            # still signals offload demand so recovery probes keep flowing.
+            if health is not None:
+                health.allows_offload(state.channel)
+            self.breaker_shortcircuits += 1
+            return False
         if state.channel.failed:
             # Dead channel: stop submitting to it, copy on the CPU instead —
             # and feed the refusal into the breaker's failure history, so a
@@ -141,7 +183,8 @@ class OffloadManager:
             # Breaker open: memcpy-only until a half-open probe re-opens it.
             self.breaker_shortcircuits += 1
             return False
-        if msg_len < self.config.ioat_min_msg or frag_len < self.config.ioat_min_frag:
+        if (msg_len < backend.min_msg(self.config)
+                or frag_len < backend.min_frag(self.config)):
             return False
         if state.pending_count >= self.config.max_pending_skbuffs:
             self.starvation_fallbacks += 1
@@ -170,45 +213,9 @@ class OffloadManager:
             # Fig. 3 prediction mode: the copy is skipped entirely.
             return False
         if self.should_offload(state, msg_len, length):
-            ioat = self.host.ioat
-            ch = state.channel
-            src = skb.head
-            # IoatDmaApi.submit_copy inlined (schedule-identical: same reap /
-            # ring-full wait / per-descriptor yield sequence) — fragments
-            # run once per wire frame, and the delegated generator frame is
-            # pure overhead at that rate.
-            n_chunks = count_page_aligned_chunks(
-                src.addr + skb_off, dst.addr + dst_off, length
+            yield from self.backend.submit_fragment(
+                core, state, skb, skb_off, dst, dst_off, length
             )
-            if n_chunks == 1:
-                pieces = ((0, 0, length),)
-            else:
-                pieces = page_aligned_chunks(
-                    src.addr + skb_off, dst.addr + dst_off, length
-                )
-            sc = ioat.params.submit_cost
-            last = -1
-            for rel_src, rel_dst, n in pieces:
-                while ch.ring.free_slots == 0:
-                    ch.reap()
-                    if ch.ring.free_slots:
-                        break
-                    start = core.sim.now
-                    yield ch.wait_completion().wait()
-                    core.account("bh", core.sim.now - start, phase="dma_wait")
-                if sc:
-                    yield sc
-                core.account("bh", sc, "dma_submit")
-                last = ch.submit(CopyDescriptor(
-                    src, skb_off + rel_src, dst, dst_off + rel_dst, n
-                ))
-            ioat.copies_submitted += 1
-            ioat.descriptors_submitted += n_chunks
-            cookie = DmaCookie(ch, last, length, n_chunks)
-            state.pending.append(
-                PendingCopy(cookie, skb, skb_off, dst, dst_off, length)
-            )
-            state.offloaded_bytes += length
             self.frags_offloaded += 1
             return True
         copier = self.host.copier
@@ -230,17 +237,18 @@ class OffloadManager:
         """
         if not state.pending:
             return 0
-        yield from self.host.ioat.poll_once(core, state.channel, "bh")
+        backend = self.backend
+        token = yield from backend.poll_pending(core, state)
         self.cleanups += 1
-        done = state.channel.poll()
         freed = 0
-        while state.pending and state.pending[0].cookie.last_cookie <= done:
+        while state.pending and backend.ticket_done(state.pending[0].cookie,
+                                                    token):
             entry = state.pending.popleft()
             yield from self._heal_if_failed(core, state, entry)
             entry.skb.free()
             freed += 1
         self.skbuffs_reaped += freed
-        state.channel.reap()
+        backend.reap_state(state)
         return freed
 
     def wait_all(self, core: "Core", state: MessageOffloadState) -> Generator:
@@ -248,8 +256,7 @@ class OffloadManager:
         of this message completed, then free the remaining skbuffs."""
         if not state.pending:
             return 0
-        last = state.pending[-1].cookie
-        yield from self.host.ioat.busy_wait(core, last, "bh")
+        yield from self.backend.drain_state(core, state)
         freed = 0
         while state.pending:
             entry = state.pending.popleft()
@@ -257,7 +264,7 @@ class OffloadManager:
             entry.skb.free()
             freed += 1
         self.skbuffs_reaped += freed
-        state.channel.reap()
+        self.backend.reap_state(state)
         return freed
 
     def _heal_if_failed(
@@ -273,8 +280,9 @@ class OffloadManager:
         state.offloaded_bytes -= entry.length
         state.copied_bytes += entry.length
         self.fallback_copies += 1
-        # Thread the failure into the channel's breaker: without this,
+        # Thread the failure into the owning lane's breaker: without this,
         # repeated heals never accumulate history and a permanently dead
         # channel keeps being picked, healed, and picked again forever.
+        # Multi-lane tickets blame the lane that actually aborted.
         if self.host.health is not None:
-            self.host.health.record_fallback(state.channel)
+            self.host.health.record_fallback(entry.cookie.channel)

@@ -195,10 +195,15 @@ def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
         armed.switch_fault = switch.fault
 
     for spec in plan.ioat:
-        engine = tb.hosts[spec.node].ioat_engine
-        channels = (
-            engine.channels if spec.channel is None else [engine[spec.channel]]
-        )
+        host = tb.hosts[spec.node]
+        engine = host.ioat_engine
+        if spec.channel is None:
+            # All DMA lanes of the node — the engine's own channels plus
+            # any lanes a copy backend (repro.core.backends) brought up.
+            channels = list(engine.channels)
+            channels += getattr(host, "extra_dma_channels", [])
+        else:
+            channels = [engine[spec.channel]]
         for ch in channels:
             if spec.action == "fail":
                 tb.sim.call_at(spec.at, ch.fail)

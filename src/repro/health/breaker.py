@@ -186,19 +186,30 @@ class HostHealth:
         self.host = host
         self.params = host.platform.health
         n = self.params.breaker_probe_bytes
-        src = host.kernel_space.alloc(n, fill=0xA5)
-        dst = host.kernel_space.alloc(n)
+        # One pair of scratch regions shared by every breaker — including
+        # lanes adopted later (adoption must not shift kernel addresses).
+        self._probe_src = host.kernel_space.alloc(n, fill=0xA5)
+        self._probe_dst = host.kernel_space.alloc(n)
         self.breakers = []
         for channel in host.ioat_engine.channels:
-            breaker = ChannelBreaker(host.sim, channel, self.params,
-                                     src, dst, trace=host.trace)
-            channel.health = breaker
-            self.breakers.append(breaker)
+            self.adopt(channel)
+
+    def adopt(self, channel: "DmaChannel") -> ChannelBreaker:
+        """Supervise ``channel`` — engine channels at construction, backend
+        lanes (repro.core.backends) whenever they come up."""
+        breaker = ChannelBreaker(self.host.sim, channel, self.params,
+                                 self._probe_src, self._probe_dst,
+                                 trace=self.host.trace)
+        channel.health = breaker
+        self.breakers.append(breaker)
+        return breaker
 
     def breaker_for(self, channel: "DmaChannel") -> Optional[ChannelBreaker]:
-        if 0 <= channel.index < len(self.breakers):
-            return self.breakers[channel.index]
-        return None
+        # Lane indices are sparse (backend lanes live at index_base+i), so
+        # resolve through the channel's own health hook instead of
+        # positional lookup.
+        breaker = channel.health
+        return breaker if isinstance(breaker, ChannelBreaker) else None
 
     def allows_offload(self, channel: "DmaChannel") -> bool:
         breaker = self.breaker_for(channel)

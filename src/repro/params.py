@@ -221,6 +221,12 @@ class OmxConfig:
     # -- I/OAT offload (§III-A, §IV-A thresholds) --
     #: master switch for the copy-offload path
     ioat_enabled: bool = False
+    #: which :class:`~repro.core.backends.CopyBackend` executes offloaded
+    #: BH receive copies: ``"ioat"`` (the paper's engine), ``"memcpy"``
+    #: (never offload), ``"flextoe"`` (fine-grained parallel lanes),
+    #: ``"spin"`` (in-NIC handlers) or ``"sgdma"`` (scatter-gather chains).
+    #: See DESIGN.md §15; unknown names fail at backend creation.
+    copy_backend: str = "ioat"
     #: offload only messages at least this long (paper: 64 kB)
     ioat_min_msg: int = 64 * KiB
     #: offload only fragments at least this long (paper: ~1 kB)
@@ -265,6 +271,8 @@ class OmxConfig:
             raise ValueError("pull pipeline must have >= 1 block of >= 1 frag")
         if self.ioat_min_frag < 1:
             raise ValueError("ioat_min_frag must be >= 1")
+        if not self.copy_backend or not isinstance(self.copy_backend, str):
+            raise ValueError("copy_backend must be a non-empty backend name")
 
 
 @dataclass(frozen=True)

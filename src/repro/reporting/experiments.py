@@ -345,6 +345,67 @@ def nas(quick: bool = False, executor: Optional[SweepExecutor] = None) -> Table:
 
 
 # ---------------------------------------------------------------------------
+# Engine shootout — every registered copy backend over the key sweeps
+# ---------------------------------------------------------------------------
+
+def engine_shootout(quick: bool = False,
+                    executor: Optional[SweepExecutor] = None) -> Table:
+    """Compare every registered :class:`~repro.core.backends.CopyBackend`.
+
+    Each backend runs the Fig. 8 ping-pong sweep, the Fig. 9 CPU-usage
+    stream, and the highly-vectorial scatter workload (§IV-A corner case),
+    side by side in one table.  ``memcpy`` is the non-offloading baseline;
+    ``ioat`` is the paper's engine; the others are the what-if engines
+    (FlexTOE-style parallel lanes, sPIN-style in-NIC handlers, chained
+    scatter-gather DMA).
+    """
+    from repro.core.backends import backend_names
+
+    backends = backend_names()
+    pp_sizes = [64 * KiB, 1 * MiB] if quick else [4 * KiB, 64 * KiB, 1 * MiB, 4 * MiB]
+    pp_iters = 3 if quick else 5
+    stream_size = 1 * MiB if quick else 4 * MiB
+    stream_iters = 4 if quick else 8
+    vec_total = 256 * KiB
+    vec_segment = 3072  # page-straddling scatter segments (the hard case)
+
+    def omx_for(name: str) -> dict:
+        if name == "memcpy":
+            return dict(copy_backend="memcpy")
+        return dict(copy_backend=name, ioat_enabled=True)
+
+    points = []
+    for b in backends:
+        cfg = omx_for(b)
+        points.extend(
+            point("pingpong", stack="omx", size=size, iters=pp_iters, omx=cfg)
+            for size in pp_sizes
+        )
+        points.append(point("stream_usage", size=stream_size, iters=stream_iters,
+                            ioat=(b != "memcpy"), regcache=False, omx=cfg))
+        points.append(point("vectored", total=vec_total, segment=vec_segment,
+                            backend=b))
+    values = iter(_executor(executor).run(points))
+
+    t = Table(
+        "SHOOTOUT: copy backends over ping-pong, stream CPU usage, "
+        "and vectored scatter",
+        ["backend"]
+        + [f"pingpong {_sz_mib(s)} MiB/s" for s in pp_sizes]
+        + ["stream BH %", "stream MiB/s", "vectored MiB/s", "vectored descs"],
+    )
+    for b in backends:
+        pp = [next(values) for _ in pp_sizes]
+        stream = next(values)
+        vec = next(values)
+        t.add_row(
+            b, *pp, stream["bh_pct"], stream["throughput_mib_s"],
+            vec["throughput_mib_s"], vec["descriptors"],
+        )
+    return t
+
+
+# ---------------------------------------------------------------------------
 # registry + CLI
 # ---------------------------------------------------------------------------
 
@@ -358,6 +419,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig11": fig11,
     "fig12": fig12,
     "nas": nas,
+    "engine_shootout": engine_shootout,
 }
 
 

@@ -103,13 +103,13 @@ def point_ioat_chunked(size: int, chunk: int) -> float:
         pos = 0
         while pos < size:
             n = min(chunk, size - pos)
-            while ch.ring.free_slots == 0:
+            while ch.ring.free_slots == 0:  # noqa: OFF001 (raw-engine bench)
                 # Ring full: wait for the hardware and reap completed
                 # descriptors (what the real driver's cleanup does).
                 yield ch.wait_completion().wait()
                 ch.reap()
             yield from core.busy(host.params.ioat.submit_cost, "bench")
-            last = ch.submit(CopyDescriptor(src, pos, dst, pos, n))
+            last = ch.submit(CopyDescriptor(src, pos, dst, pos, n))  # noqa: OFF001
             pos += n
         while not ch.is_complete(last):
             yield ch.wait_completion().wait()
@@ -122,12 +122,20 @@ def point_ioat_chunked(size: int, chunk: int) -> float:
     return throughput_mib_s(size, elapsed)
 
 
-def point_stream_usage(size: int, iters: int, ioat: bool, regcache: bool) -> dict:
-    """Receiver CPU-usage bands while streaming large messages (Fig. 9)."""
+def point_stream_usage(size: int, iters: int, ioat: bool, regcache: bool,
+                       omx: dict = None) -> dict:
+    """Receiver CPU-usage bands while streaming large messages (Fig. 9).
+
+    ``omx`` carries extra config overrides (e.g. ``copy_backend`` for the
+    engine shootout); the parameter is optional so points declared without
+    it keep their existing cache keys.
+    """
     from repro.cluster.testbed import build_testbed
     from repro.workloads import run_stream_usage
 
-    tb = build_testbed(ioat_enabled=ioat, regcache_enabled=regcache)
+    overrides = dict(ioat_enabled=ioat, regcache_enabled=regcache)
+    overrides.update(omx or {})
+    tb = build_testbed(**overrides)
     u = run_stream_usage(tb, size, iterations=iters)
     return {
         "user_pct": u.user_pct,
@@ -191,6 +199,7 @@ POINT_KINDS: dict[str, Callable] = {
 LAZY_POINT_KINDS: dict[str, str] = {
     "fault_cell": "repro.faults.campaign:point_fault_cell",
     "cpu_profile": "repro.obs.profiler:point_cpu_profile",
+    "vectored": "repro.workloads.vectored:point_vectored",
 }
 
 

@@ -15,15 +15,24 @@ from repro.workloads.streams import StreamUsage, run_stream_usage
 from repro.workloads.shm_pingpong import run_shm_pingpong
 from repro.workloads.nas_is import run_nas_is
 from repro.workloads.pvfs import PvfsResult, run_pvfs_transfer
-from repro.workloads.vectored import VectoredCopyResult, measure_vectored_copy
+from repro.workloads.vectored import (
+    VectoredCopyResult,
+    VectoredRunResult,
+    measure_vectored_copy,
+    point_vectored,
+    run_vectored_transfer,
+)
 
 __all__ = [
     "PvfsResult",
     "StreamUsage",
     "VectoredCopyResult",
+    "VectoredRunResult",
     "measure_vectored_copy",
+    "point_vectored",
     "run_nas_is",
     "run_pvfs_transfer",
     "run_shm_pingpong",
     "run_stream_usage",
+    "run_vectored_transfer",
 ]

@@ -60,6 +60,64 @@ class TestPolicy:
         assert idx == [0, 1, 2, 3, 0]
 
 
+class TestBreakerReroute:
+    """Channel assignment under tripped breakers (the reroute-herding bug).
+
+    The broken scan restarted from ``channels[0]`` whenever the round-robin
+    pick was refused, so every rerouted message landed on the first healthy
+    channel.  The fix keeps drawing from the round-robin cursor, spreading
+    rerouted messages over all healthy channels.
+    """
+
+    @staticmethod
+    def _trip(host, index):
+        from repro.health import BreakerState
+
+        host.health.breakers[index].state = BreakerState.OPEN
+
+    def test_reroute_spreads_over_healthy_channels(self):
+        _, host, mgr, _ = make_env()
+        self._trip(host, 0)
+        self._trip(host, 1)
+        idx = [mgr.new_message_state().channel.index for _ in range(4)]
+        # Herding would give [2, 2, 2, 2]; the continued scan alternates.
+        assert idx == [2, 3, 2, 3]
+        assert mgr.breaker_reroutes == 2  # draws landing on 0/1 rerouted
+
+    def test_single_healthy_channel_still_found(self):
+        _, host, mgr, _ = make_env()
+        for i in (0, 1, 3):
+            self._trip(host, i)
+        idx = [mgr.new_message_state().channel.index for _ in range(3)]
+        assert idx == [2, 2, 2]
+
+    def test_all_breakers_open_degrades_to_memcpy(self):
+        _, host, mgr, _ = make_env()
+        for i in range(4):
+            self._trip(host, i)
+        state = mgr.new_message_state()
+        assert state.memcpy_only
+        assert mgr.breaker_exhausted == 1
+        assert not mgr.should_offload(state, 1 << 20, 8 * KiB)
+        assert mgr.breaker_shortcircuits == 1
+
+    def test_memcpy_only_message_keeps_probe_demand_flowing(self):
+        _, host, mgr, _ = make_env()
+        for i in range(4):
+            self._trip(host, i)
+        state = mgr.new_message_state()
+        armed_before = sum(
+            b._probe_armed for b in host.health.breakers  # noqa: SLF001
+        )
+        mgr.should_offload(state, 1 << 20, 8 * KiB)
+        armed_after = sum(
+            b._probe_armed for b in host.health.breakers  # noqa: SLF001
+        )
+        # The refusal must re-arm at least the assigned channel's probe.
+        assert armed_after >= armed_before
+        assert host.health.breakers[state.channel.index]._probe_armed  # noqa: SLF001
+
+
 class TestExecution:
     def _copy(self, sim, host, mgr, state, skb, dst, off, n, msg_len):
         core = host.irq_core

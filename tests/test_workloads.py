@@ -10,6 +10,7 @@ from repro.workloads import (
     measure_vectored_copy,
     run_nas_is,
     run_stream_usage,
+    run_vectored_transfer,
 )
 
 
@@ -72,3 +73,51 @@ class TestVectoredCopy:
         fine = measure_vectored_copy(tb.hosts[0], 64 * KiB, 512)
         coarse = measure_vectored_copy(tb.hosts[0], 64 * KiB, 4 * KiB)
         assert fine.ioat_submit_ns == 8 * coarse.ioat_submit_ns
+
+    def test_page_straddling_segments_priced_per_descriptor(self):
+        """The regression this pins: the model used to price one descriptor
+        per segment, but ``copy_fragment`` splits a page-straddling segment
+        into one descriptor per page-aligned chunk.  3 kB segments into a
+        contiguous destination cycle through offsets 0/3072/2048/1024, so
+        every cycle of four segments costs 1+2+2+1 = 6 descriptors."""
+        tb = build_single_node()
+        r = measure_vectored_copy(tb.hosts[0], 256 * KiB, 3072)
+        assert r.n_segments == 86
+        # 21 full cycles (84 segments, 126 descriptors) + one aligned 3 kB
+        # segment + one 1 kB tail that stays inside its page: 128 total.
+        assert r.ioat_descriptors == 128
+        params = tb.hosts[0].params
+        assert r.ioat_submit_ns == 128 * params.ioat.submit_cost
+        # The aligned model would have said 86 descriptors — strictly less.
+        assert r.ioat_descriptors > r.n_segments
+
+    def test_aligned_segments_one_descriptor_each(self):
+        tb = build_single_node()
+        r = measure_vectored_copy(tb.hosts[0], 256 * KiB, 2 * KiB)
+        assert r.n_segments == 128
+        assert r.ioat_descriptors == 128  # power-of-2 ≤ page: never straddles
+
+
+class TestVectoredTransfer:
+    def test_event_loop_matches_backend(self):
+        tb = build_single_node(ioat_enabled=True)
+        r = run_vectored_transfer(tb, 64 * KiB, 4 * KiB)
+        assert r.backend == "ioat"
+        assert r.frags_offloaded > 0
+        assert r.descriptors_completed >= r.frags_offloaded
+        assert r.throughput_mib_s > 0
+
+    def test_memcpy_backend_never_offloads(self):
+        tb = build_single_node(copy_backend="memcpy")
+        r = run_vectored_transfer(tb, 64 * KiB, 4 * KiB)
+        assert r.frags_offloaded == 0
+        assert r.frags_memcpy > 0
+        assert r.descriptors_completed == 0
+
+    def test_straddling_segments_complete_more_descriptors(self):
+        tb = build_single_node(ioat_enabled=True, ioat_min_msg=1,
+                               ioat_min_frag=1)
+        r = run_vectored_transfer(tb, 64 * KiB, 3072)
+        # Page-straddling 3 kB fragments split: more descriptors than
+        # fragments — the execution-path fact the analytic model now prices.
+        assert r.descriptors_completed > r.frags_offloaded
