@@ -195,6 +195,7 @@ def run_suite() -> dict:
         "cpu_budget_s": WALL_BUDGET_SECONDS,
         "min_events_per_s": MIN_EVENTS_PER_SECOND,
         "kernel_microbench": kernel_microbench(),
+        "fabric_microbench": fabric_microbench(),
     }
 
 
@@ -216,6 +217,16 @@ MIN_KERNEL_OPS_PER_SECOND = {
     "heap_churn": 280_000,
     "timer_cancel": 230_000,
 }
+
+#: events/second floor for the fabric microbench (a 128-host 2-tier
+#: fat-tree allreduce), at roughly a third of the measured rate — flags a
+#: per-host or per-port scaling regression in the fabric world launcher
+MIN_FABRIC_EVENTS_PER_SECOND = 90_000
+
+#: the fabric microbench workload (kept out of the baseline-compared
+#: figure loop: the baseline tree predates repro.fabric)
+_FABRIC_HOSTS = 128
+_FABRIC_SIZE = 64 * 1024
 
 
 def _noop() -> None:
@@ -274,6 +285,33 @@ def kernel_microbench() -> dict:
     out["timer_cancel"] = round(n / (time.process_time() - t0))
 
     return out
+
+
+def fabric_microbench() -> dict:
+    """Time a 128-host 2-tier fat-tree allreduce end to end.
+
+    Exercises the scalable rank launcher, per-edge route tables, and
+    timestamp-batched port arbitration at a host count two orders of
+    magnitude beyond the paper's two-node testbed.  Reported separately
+    from the figure suite because the baseline tree predates the fabric
+    subsystem.
+    """
+    from repro.fabric.sweep import run_fabric_collective
+
+    t0 = time.process_time()
+    cell = run_fabric_collective(
+        topology="fat_tree2", hosts=_FABRIC_HOSTS, size=_FABRIC_SIZE,
+        backend="ioat",
+    )
+    cpu_s = time.process_time() - t0
+    return {
+        "hosts": _FABRIC_HOSTS,
+        "size": _FABRIC_SIZE,
+        "events": cell["events"],
+        "cpu_s": round(cpu_s, 3),
+        "events_per_s": round(cell["events"] / cpu_s),
+        "sim_time_us": cell["time_ns"] // 1000,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +505,9 @@ def test_simspeed_quick_suite():
           f"{report['total_cpu_s']:7.3f}s (x{report['speedup_total']:.2f})")
     for name, ops in report["kernel_microbench"].items():
         print(f"  kernel {name:16s} {ops:,} ops/s")
+    fab = report["fabric_microbench"]
+    print(f"  fabric allreduce {fab['hosts']}h  {fab['events']:,} events, "
+          f"{fab['events_per_s']:,} ev/s")
     print(f"  [wrote {OUTPUT}]")
     assert report["speedup_total"] >= MIN_SPEEDUP, (
         f"quick suite speedup x{report['speedup_total']} is below the "
@@ -488,6 +529,12 @@ def test_simspeed_quick_suite():
             f"kernel microbench {name}: {ops:,} ops/s is below the "
             f"{floor:,} floor"
         )
+    fab_rate = report["fabric_microbench"]["events_per_s"]
+    assert fab_rate >= MIN_FABRIC_EVENTS_PER_SECOND, (
+        f"fabric microbench: {fab_rate:,} events/s is below the "
+        f"{MIN_FABRIC_EVENTS_PER_SECOND:,} floor (fabric scaling "
+        "regression?)"
+    )
 
 
 if __name__ == "__main__":

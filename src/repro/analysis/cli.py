@@ -62,7 +62,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--workloads", metavar="NAMES",
         help="race mode: comma-separated workload subset "
-             "(default: pingpong,stream,incast)",
+             "(default: pingpong,stream,incast,fabric)",
     )
     parser.add_argument(
         "--size", type=int, default=4096,
@@ -117,13 +117,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _run_races(args) -> int:
-    from repro.analysis.races import standard_reports
-    from repro.faults.campaign import WORKLOADS
+    from repro.analysis.races import RACE_WORKLOADS, standard_reports
 
     workloads = None
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-        unknown = [w for w in workloads if w not in WORKLOADS]
+        unknown = [w for w in workloads if w not in RACE_WORKLOADS]
         if unknown:
             print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
             return 2

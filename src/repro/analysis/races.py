@@ -29,9 +29,10 @@ simulator(s); the detector installs the tie-break policy via
 :func:`~repro.simkernel.tiebreak.default_tiebreak`, so anything that
 constructs a :class:`Simulator` inside the callable is covered —
 including :func:`repro.cluster.testbed.build_testbed`.
-:func:`workload_scenario` wraps the fault-campaign workloads (pingpong /
-stream / incast) into that shape; they are the standard corpus
-``python -m repro.analysis --races`` sweeps.
+:func:`workload_scenario` wraps the standard corpus (the fault-campaign
+workloads pingpong / stream / incast plus the chunk-level ``fabric``
+collective cell) into that shape; ``python -m repro.analysis --races``
+sweeps them all.
 """
 
 from __future__ import annotations
@@ -52,6 +53,12 @@ from repro.simkernel.tiebreak import (
 #: dispatcher elides hops whose callback list emptied — an order-dependent
 #: *optimization*, not an order-dependent *outcome*
 VOLATILE_METRICS = frozenset({"sim_wall_ms", "sim_events_processed"})
+
+#: the standard ``--races`` corpus: the fault-campaign workloads plus the
+#: fabric collective cell.  Deliberately NOT ``campaign.WORKLOADS`` —
+#: the campaign matrix (and its bit-identical reports) must not grow a
+#: cell when the race corpus does.
+RACE_WORKLOADS = ("pingpong", "stream", "incast", "fabric")
 
 #: schedule-log entries shown on each side of the first diverging event
 CONTEXT = 3
@@ -322,8 +329,13 @@ def workload_scenario(workload: str, size: int = 4096,
     """
     from repro.faults import campaign
 
-    if workload not in campaign.WORKLOADS:
+    if workload not in RACE_WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
+    if workload == "fabric":
+        # the chunk-level fabric cell: a small 2-tier fat-tree allreduce
+        from repro.fabric.sweep import fabric_scenario
+
+        return fabric_scenario(size=size)
     build = {
         "pingpong": campaign._workload_pingpong,
         "stream": campaign._workload_stream,
@@ -360,8 +372,6 @@ def standard_reports(seeds: Sequence[int] = (1, 2, 3),
                      size: int = 4096, iters: int = 2,
                      bisect: bool = True) -> List[RaceReport]:
     """Sweep the standard corpus; ``--races`` renders these."""
-    from repro.faults import campaign
-
-    names = list(workloads) if workloads is not None else list(campaign.WORKLOADS)
+    names = list(workloads) if workloads is not None else list(RACE_WORKLOADS)
     return [check_workload(w, size=size, iters=iters, seeds=seeds,
                            bisect=bisect) for w in names]

@@ -57,29 +57,25 @@ def build_testbed(
 ) -> Testbed:
     """Build the canonical two-node testbed.
 
+    Thin wrapper compiling the fabric pair spec
+    (:func:`repro.fabric.spec.pair_topology`) with
+    :func:`repro.fabric.build.build_fabric_testbed`; the construction
+    order — and therefore every event count — is identical to the
+    historical inline factory.
+
     ``stacks`` selects the software per node: a single name for both, or a
     pair like ``("omx", "mx")`` for the interoperability configuration.
     ``omx_overrides`` are forwarded to :class:`~repro.params.OmxConfig`.
     """
+    from repro.fabric.build import build_fabric_testbed
+    from repro.fabric.spec import pair_topology
+
     if platform is None:
         platform = clovertown_5000x(**omx_overrides)
     elif omx_overrides:
         platform = platform.with_omx(**omx_overrides)
-    sim = Simulator()
-    hosts = [Host(sim, platform, name=f"node{i}") for i in range(2)]
-    link = Link(sim, platform.nic.link_bw, platform.nic.propagation_delay)
-    link.attach(hosts[0].nic, hosts[1].nic)
-    if isinstance(stacks, str):
-        stacks = (stacks, stacks)
-    built = []
-    for host, name in zip(hosts, stacks):
-        if name == "omx":
-            built.append(OmxStack(host))
-        elif name == "mx":
-            built.append(NativeMxStack(host))
-        else:
-            raise ValueError(f"unknown stack {name!r}")
-    return Testbed(sim, platform, hosts, link, built)
+    return build_fabric_testbed(pair_topology(), platform=platform,
+                                stacks=stacks)
 
 
 def build_single_node(

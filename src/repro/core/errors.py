@@ -66,6 +66,30 @@ class RemoteAborted(TransferError):
         super().__init__(f"peer {peer} aborted transfer of msg {msg_id}")
 
 
+class FabricPartitioned(TransferError):
+    """A fabric message lost its last live path to the destination.
+
+    Raised by :class:`repro.fabric.network.FabricNetwork` when a link kill
+    (or queue drop of an in-flight chunk) leaves a message with no live
+    route and no retransmit layer to hide behind.  Carries enough identity
+    for the fault campaign to assert *which* flow died, byte-identically
+    per seed.
+    """
+
+    def __init__(self, src: str, dst: str, tag: int, where: str = "",
+                 detail: str = ""):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.where = where
+        msg = f"fabric transfer {src}->{dst} (tag {tag}) unreachable"
+        if where:
+            msg += f" at {where}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 class PeerDead(TransferError):
     """Sustained silence from a peer beyond the liveness deadline.
 

@@ -1,18 +1,30 @@
-"""A store-and-forward Ethernet switch for multi-node testbeds.
+"""Store-and-forward Ethernet switches for multi-node testbeds.
 
 The paper's measurements are back-to-back ("two Myri-10G NICs connected
 without any switch"), but its motivating deployment — PVFS2 transport
 between BlueGene/P compute and I/O nodes — is a switched fabric.  This
 switch enables N-node testbeds: each port is a full-duplex link to one
-NIC; frames are forwarded by destination MAC after a store-and-forward
-latency, with per-output-port serialization (so congestion on a hot
-receiver emerges naturally) and a bounded per-port egress queue that drops
-when full (tail drop), exercising the stacks' retransmission machinery.
+NIC *or to another switch* (a trunk), frames are forwarded after a
+store-and-forward latency with per-output-port serialization (so
+congestion on a hot receiver emerges naturally) and a bounded per-port
+egress queue that drops when full (tail drop), exercising the stacks'
+retransmission machinery.
+
+Multi-switch forwarding (:mod:`repro.fabric` testbeds) uses **static
+routes** installed at build time: per destination MAC, the set of
+candidate egress ports, one of which is picked by a seeded crc32 hash of
+the (src, dst) MAC pair — deterministic ECMP, byte-identical across runs
+and platforms (never Python's ``hash``), and per-pair stable so a flow's
+frames never reorder across trunks.  With static routes installed the
+learning path is bypassed entirely: flooding over a fat tree's redundant
+trunks would loop, and first-arrival MAC learning would leak dispatch
+order into the forwarding state.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+import zlib
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from repro.ethernet.frame import EthernetFrame
 from repro.ethernet.link import Link
@@ -20,6 +32,7 @@ from repro.simkernel.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ethernet.nic import Nic
+    from repro.obs.registry import MetricsRegistry
     from repro.simkernel.scheduler import Simulator
 
 
@@ -40,14 +53,23 @@ class EthernetSwitch:
 
     def __init__(self, sim: "Simulator", n_ports: int, link_bw: float,
                  propagation_delay: int, forwarding_latency: int = 500,
-                 egress_queue_frames: int = 128):
+                 egress_queue_frames: int = 128, name: str = "sw0",
+                 ecmp_seed: str = "fabric"):
         self.sim = sim
+        self.name = name
+        self.ecmp_seed = ecmp_seed
         self.link_bw = link_bw
         self.propagation_delay = propagation_delay
         self.forwarding_latency = forwarding_latency
         self.ports = [_SwitchPort(self, i) for i in range(n_ports)]
         self.links: list[Optional[Link]] = [None] * n_ports
+        #: the egress direction of each port's cable (NIC ports transmit on
+        #: the link's b->a half; a trunk's near side transmits on a->b)
+        self._tx_dir = [None] * n_ports
         self._mac_table: dict[int, int] = {}
+        #: static routes: dst MAC -> candidate egress ports (ECMP set).
+        #: Non-empty => multi-switch mode: learning and flooding disabled.
+        self._routes: dict[int, tuple[int, ...]] = {}
         self._egress_q: list[Store] = [
             Store(sim, capacity=egress_queue_frames, name=f"sw-eg{i}")
             for i in range(n_ports)
@@ -57,10 +79,13 @@ class EthernetSwitch:
         #: fault hook: ``drop_egress(port, frame, now)`` forces a tail drop
         #: on the named egress port, as if its queue had overflowed
         self.fault = None
-        # statistics
+        # statistics (aggregate and per egress port)
         self.forwarded = 0
         self.dropped = 0
         self.flooded = 0
+        self.port_forwarded = [0] * n_ports
+        self.port_dropped = [0] * n_ports
+        self.port_peak_queue = [0] * n_ports
 
     # -- wiring ---------------------------------------------------------------
 
@@ -72,61 +97,135 @@ class EthernetSwitch:
                     name=f"sw-p{port}")
         link.attach(nic, self.ports[port])  # type: ignore[arg-type]
         self.links[port] = link
+        self._tx_dir[port] = link.b_to_a
         self._mac_table[nic.mac] = port
+
+    def attach_trunk(self, port: int, peer: "EthernetSwitch", peer_port: int,
+                     bw: Optional[float] = None,
+                     latency: Optional[int] = None) -> Link:
+        """Cable switch ``port`` to ``peer_port`` of another switch.
+
+        Returns the trunk :class:`~repro.ethernet.link.Link` (this switch
+        is side *a*, the peer side *b*) so fault plans can target it.
+        """
+        if self.links[port] is not None:
+            raise ValueError(f"port {port} already in use")
+        if peer.links[peer_port] is not None:
+            raise ValueError(f"peer port {peer_port} already in use")
+        link = Link(self.sim,
+                    self.link_bw if bw is None else bw,
+                    self.propagation_delay if latency is None else latency,
+                    name=f"trunk-{self.name}~{peer.name}")
+        link.attach(self.ports[port],  # type: ignore[arg-type]
+                    peer.ports[peer_port])  # type: ignore[arg-type]
+        self.links[port] = link
+        peer.links[peer_port] = link
+        self._tx_dir[port] = link.a_to_b
+        peer._tx_dir[peer_port] = link.b_to_a
+        return link
+
+    def add_route(self, dst_mac: int, out_ports: Sequence[int]) -> None:
+        """Install the static ECMP port set for one destination MAC."""
+        if not out_ports:
+            raise ValueError(f"{self.name}: empty route for MAC {dst_mac}")
+        self._routes[dst_mac] = tuple(sorted(out_ports))
+
+    def _route_port(self, frame: EthernetFrame) -> Optional[int]:
+        """Deterministic ECMP pick among the static candidates."""
+        candidates = self._routes.get(frame.dst_mac)
+        if candidates is None:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        key = (f"{self.ecmp_seed}|{frame.src_mac}>{frame.dst_mac}"
+               f"|{self.name}")
+        return candidates[zlib.crc32(key.encode()) % len(candidates)]
 
     # -- forwarding -------------------------------------------------------------
 
     def _ingress(self, in_port: int, frame: EthernetFrame) -> None:
-        # Learn the source, look up the destination.
-        self._mac_table.setdefault(frame.src_mac, in_port)
-        out = self._mac_table.get(frame.dst_mac)
-        if out is None:
-            # Unknown destination: flood (rare; endpoints are pre-learned).
-            self.flooded += 1
-            targets = [p for p in range(len(self.ports))
-                       if p != in_port and self.links[p] is not None]
-        else:
+        if self._routes:
+            # Multi-switch mode: static routes only, no learning/flooding.
+            out = self._route_port(frame)
+            if out is None:
+                self.dropped += 1
+                return
             targets = [out]
+        else:
+            # Learn the source, look up the destination.
+            self._mac_table.setdefault(frame.src_mac, in_port)
+            out = self._mac_table.get(frame.dst_mac)
+            if out is None:
+                # Unknown destination: flood (rare; endpoints are pre-learned).
+                self.flooded += 1
+                targets = [p for p in range(len(self.ports))
+                           if p != in_port and self.links[p] is not None]
+            else:
+                targets = [out]
         for port in targets:
             if self.fault is not None and self.fault.drop_egress(
                 port, frame, self.sim.now
             ):
                 self.dropped += 1
+                self.port_dropped[port] += 1
                 continue
             if not self._egress_q[port].try_put(frame):
                 self.dropped += 1
+                self.port_dropped[port] += 1
+                continue
+            depth = len(self._egress_q[port])
+            if depth > self.port_peak_queue[port]:
+                self.port_peak_queue[port] = depth
 
     def _egress_daemon(self, port: int) -> Generator:
         while True:
             frame = yield self._egress_q[port].get()
             yield self.forwarding_latency  # bare-int sleep (per frame)
-            link = self.links[port]
-            if link is None:
+            direction = self._tx_dir[port]
+            if direction is None:
                 continue
-            # The switch port is side "b" of its link: transmit toward the NIC.
-            yield from link.b_to_a.transmit(frame)
+            yield from direction.transmit(frame)
             self.forwarded += 1
+            self.port_forwarded[port] += 1
+
+    # -- observation ------------------------------------------------------------
+
+    def register_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Expose per-port egress counters in a metrics registry."""
+        metrics.counter(self.name, f"sw_{self.name}_forwarded",
+                        lambda: self.forwarded, "frames forwarded")
+        metrics.counter(self.name, f"sw_{self.name}_dropped",
+                        lambda: self.dropped, "frames tail-dropped")
+        for i in range(len(self.ports)):
+            metrics.counter(
+                self.name, f"sw_{self.name}_p{i}_forwarded",
+                lambda i=i: self.port_forwarded[i],
+                "frames forwarded out this port")
+            metrics.counter(
+                self.name, f"sw_{self.name}_p{i}_dropped",
+                lambda i=i: self.port_dropped[i],
+                "frames dropped at this egress queue")
+            metrics.gauge(
+                self.name, f"sw_{self.name}_p{i}_peak_queue",
+                lambda i=i: self.port_peak_queue[i],
+                "worst egress queue occupancy (frames)")
 
 
 def build_switched_testbed(n_nodes: int, platform=None, **omx_overrides):
-    """An N-node Open-MX testbed around one switch."""
-    from repro.cluster.host import Host
-    from repro.cluster.testbed import Testbed
-    from repro.core.driver import OmxStack
+    """An N-node Open-MX testbed around one switch.
+
+    Thin wrapper over the fabric star spec: equivalent to compiling
+    :func:`repro.fabric.spec.star_topology` with
+    :func:`repro.fabric.build.build_fabric_testbed` (construction order —
+    and therefore every event count — is identical to the historical
+    inline factory).
+    """
+    from repro.fabric.build import build_fabric_testbed
+    from repro.fabric.spec import star_topology
     from repro.params import clovertown_5000x
-    from repro.simkernel.scheduler import Simulator
 
     if platform is None:
         platform = clovertown_5000x(**omx_overrides)
     elif omx_overrides:
         platform = platform.with_omx(**omx_overrides)
-    sim = Simulator()
-    hosts = [Host(sim, platform, name=f"node{i}") for i in range(n_nodes)]
-    switch = EthernetSwitch(sim, n_nodes, platform.nic.link_bw,
-                            platform.nic.propagation_delay)
-    for i, host in enumerate(hosts):
-        switch.attach_nic(i, host.nic)
-    stacks = [OmxStack(host) for host in hosts]
-    tb = Testbed(sim, platform, hosts, None, stacks)
-    tb.switch = switch
-    return tb
+    return build_fabric_testbed(star_topology(n_nodes), platform=platform)

@@ -1,0 +1,82 @@
+"""Topology summary CLI: ``python -m repro.fabric``.
+
+Prints one row per generated topology — host/switch/link counts, the
+worst-case oversubscription ratio, and the switch-graph diameter — so a
+fabric sweep's grid can be sanity-checked before spending simulator time
+on it.
+
+Usage::
+
+    python -m repro.fabric                       # the standard gallery
+    python -m repro.fabric --kind fat_tree3 --hosts 128
+    python -m repro.fabric --kind fat_tree2 --hosts 64 --oversub 4
+"""
+
+from __future__ import annotations
+
+from argparse import ArgumentParser
+from typing import Optional, Sequence
+
+from repro.fabric.sweep import TOPOLOGIES, make_topology
+from repro.reporting.table import Table
+
+#: the default gallery: (kind, hosts, oversubscription) rows covering
+#: every generator at a representative scale
+GALLERY = (
+    ("pair", 2, 1.0),
+    ("star", 8, 1.0),
+    ("fat_tree2", 32, 1.0),
+    ("fat_tree2", 64, 4.0),
+    ("fat_tree3", 128, 1.0),
+    ("dragonfly", 32, 1.0),
+)
+
+
+def summary_table(rows) -> Table:
+    table = Table(
+        "fabric topologies",
+        ["kind", "hosts", "switches", "links", "trunks",
+         "oversub", "diameter"],
+    )
+    for kind, hosts, oversub in rows:
+        spec = make_topology(kind, hosts, oversubscription=oversub)
+        spec.validate()
+        table.add_row(
+            kind,
+            len(spec.hosts),
+            len(spec.switches),
+            len(spec.links),
+            len(spec.trunk_links()),
+            f"{spec.oversubscription():.2f}",
+            spec.diameter_hops(),
+        )
+    return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = ArgumentParser(
+        prog="python -m repro.fabric",
+        description="summarize generated fabric topologies",
+    )
+    parser.add_argument(
+        "--kind", choices=TOPOLOGIES,
+        help="summarize one topology kind (default: the full gallery)",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=32,
+        help="host count for --kind (default 32)",
+    )
+    parser.add_argument(
+        "--oversub", type=float, default=1.0,
+        help="requested oversubscription for --kind (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = (((args.kind, args.hosts, args.oversub),)
+            if args.kind else GALLERY)
+    print(summary_table(rows).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

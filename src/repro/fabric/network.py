@@ -1,0 +1,562 @@
+"""Chunk-level fabric simulator on the event kernel.
+
+A :class:`FabricNetwork` executes message flows over a
+:class:`~repro.fabric.spec.TopologySpec` at *chunk* granularity (default
+16 KiB cells) instead of per-frame: coarse enough that a 256-host allreduce
+is a few hundred thousand events, fine enough that store-and-forward hops,
+trunk contention and the receive-copy serializer pipeline all emerge.  The
+per-chunk costs come from a shared :class:`~repro.fabric.cost.CostTable`;
+no per-host hardware object graphs are built (ports are created lazily on
+first use).
+
+Determinism under tie-break shuffles
+------------------------------------
+Every queueing point is a :class:`FabricPort` using **one-tick arbitration
+batching**: chunks enqueued at tick *t* are admitted by an arbiter at
+*t + 1* that sorts the batch by ``(ready, flow-key)``.  Batch membership
+depends only on timestamps (every pending entry was enqueued exactly one
+tick before its arbiter runs) and the admission order is a canonical sort —
+never the dispatch order the tie-break policy permutes — so schedules,
+drops, ECMP reroutes and all counters are byte-identical under
+``--races``.  Serialization start times are ``max(port free time, ready)``
+with a >= 1-tick service, so completions land strictly after the arbiter
+and can never be scheduled in the past.
+
+Faults
+------
+``kill_link("edge0~spine1", at=...)`` cuts a link mid-run: chunks already
+serialized onto the wire arrive, queued chunks are deterministically
+rerouted over recomputed tables (seeded ECMP over the live-link set), and
+flows with no remaining path fail their messages with the typed
+:class:`~repro.core.errors.FabricPartitioned`.  Per-port drop/occupancy
+counters and the aggregate flow counters are registered in a
+:class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import DeliveryFailed, FabricPartitioned
+from repro.fabric.cost import DEFAULT_CELL, CostTable, cost_table
+from repro.fabric.routing import RouteTables
+from repro.fabric.spec import LinkSpec, TopologySpec
+from repro.obs.registry import MetricsRegistry
+from repro.params import Platform, clovertown_5000x
+from repro.simkernel import Simulator
+from repro.units import transfer_time
+
+
+class _Message:
+    """One in-flight fabric message (the transfer handle)."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "seq", "key", "flow",
+                 "path", "n_chunks", "rx_remaining", "tx_remaining",
+                 "error", "t_start", "t_done", "on_tx", "user")
+
+    def __init__(self, src: str, dst: str, tag: int, nbytes: int, seq: int,
+                 path: tuple, now: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.seq = seq
+        #: canonical total order over messages (drives chunk sort keys)
+        self.key = (src, dst, tag, seq)
+        self.flow = f"{src}>{dst}/{tag}/{seq}"
+        self.path = path
+        self.n_chunks = 0
+        self.rx_remaining = 0
+        self.tx_remaining = 0
+        self.error: Optional[Exception] = None
+        self.t_start = now
+        self.t_done = -1
+        #: fired once when the last chunk clears the source NIC (MPI local
+        #: send completion); set by the upper layer
+        self.on_tx: Optional[Callable[[], None]] = None
+        #: upper-layer payload (the MPI layer parks its request here)
+        self.user: object = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+class _Chunk:
+    """One cell of a message walking the fabric."""
+
+    __slots__ = ("msg", "size", "idx", "hop", "path", "key", "txed")
+
+    def __init__(self, msg: _Message, size: int, idx: int):
+        self.msg = msg
+        self.size = size
+        self.idx = idx
+        self.hop = 0
+        #: the switch walk; starts as the message's shared tuple, replaced
+        #: per-chunk on reroute
+        self.path = msg.path
+        self.key = msg.key + (idx,)
+        #: has this chunk cleared the source NIC yet?
+        self.txed = False
+
+
+class FabricPort:
+    """One egress serializer (switch port, host NIC, or rx-copy stage).
+
+    ``service(chunk)`` gives the serialization ticks; ``handler(chunk)`` is
+    scheduled at ``finish + delay`` (next-hop arrival, including link
+    propagation and the far switch's forwarding latency).
+    """
+
+    __slots__ = ("net", "sim", "name", "owner", "service", "handler",
+                 "delay", "pending", "free_at", "alive", "limit_ns",
+                 "fault", "enqueued", "admitted", "dropped", "rerouted",
+                 "peak_backlog_ns", "busy_ticks", "_arb_at")
+
+    def __init__(self, net: "FabricNetwork", name: str, owner: Optional[str],
+                 service: Callable[[_Chunk], int],
+                 handler: Callable[[_Chunk], None],
+                 delay: int, limit_ns: Optional[int] = None):
+        self.net = net
+        self.sim = net.sim
+        self.name = name
+        #: the switch this port hangs off (None for host-owned stages);
+        #: reroutes restart the walk here
+        self.owner = owner
+        self.service = service
+        self.handler = handler
+        self.delay = delay
+        self.pending: list[tuple[int, tuple, _Chunk]] = []
+        self.free_at = 0
+        self.alive = True
+        #: drop chunks whose queueing delay would exceed this (None = never)
+        self.limit_ns = limit_ns
+        #: fault hook: ``fault(chunk, now) -> True`` drops the chunk
+        self.fault: Optional[Callable[[_Chunk, int], bool]] = None
+        self.enqueued = 0
+        self.admitted = 0
+        self.dropped = 0
+        self.rerouted = 0
+        self.peak_backlog_ns = 0
+        self.busy_ticks = 0
+        self._arb_at = -1
+
+    # -- ingress -----------------------------------------------------------
+
+    def enqueue(self, chunk: _Chunk) -> None:
+        if chunk.msg.failed:
+            return
+        if not self.alive:
+            self.rerouted += 1
+            self.net._reroute(chunk, self.owner, self.name)
+            return
+        now = self.sim.now
+        self.enqueued += 1
+        self.pending.append((now, chunk.key, chunk))
+        if self._arb_at <= now:
+            self._arb_at = now + 1
+            self.sim.call_at(self._arb_at, self._arbitrate)
+
+    # -- the one-tick arbiter ---------------------------------------------
+
+    def _arbitrate(self) -> None:
+        now = self.sim.now
+        # Entries enqueued *this* tick (after this arbiter was scheduled)
+        # belong to the next arbitration; membership is by timestamp only.
+        batch = [e for e in self.pending if e[0] < now]
+        rest = [e for e in self.pending if e[0] >= now]
+        batch.sort()
+        self.pending = rest
+        if not self.alive:
+            for _ready, _key, chunk in batch:
+                if not chunk.msg.failed:
+                    self.rerouted += 1
+                    self.net._reroute(chunk, self.owner, self.name)
+        else:
+            call_at = self.sim.call_at
+            for ready, _key, chunk in batch:
+                if chunk.msg.failed:
+                    continue
+                start = self.free_at if self.free_at > ready else ready
+                wait = start - now
+                if wait > self.peak_backlog_ns:
+                    self.peak_backlog_ns = wait
+                if (self.limit_ns is not None and wait > self.limit_ns) or (
+                        self.fault is not None and self.fault(chunk, now)):
+                    self.dropped += 1
+                    self.net._drop(chunk, self.name)
+                    continue
+                ticks = self.service(chunk)
+                if ticks < 1:
+                    ticks = 1
+                finish = start + ticks
+                self.free_at = finish
+                self.busy_ticks += ticks
+                self.admitted += 1
+                call_at(finish + self.delay, self.handler, chunk)
+        if rest and self._arb_at <= now:
+            self._arb_at = now + 1
+            self.sim.call_at(self._arb_at, self._arbitrate)
+
+    # -- observation -------------------------------------------------------
+
+    def register_metrics(self, metrics: MetricsRegistry) -> None:
+        comp = self.owner or "host"
+        metrics.counter(comp, f"fabric_{self.name}_enqueued",
+                        lambda: self.enqueued, "chunks queued on this port")
+        metrics.counter(comp, f"fabric_{self.name}_dropped",
+                        lambda: self.dropped, "chunks dropped at this port")
+        metrics.counter(comp, f"fabric_{self.name}_rerouted",
+                        lambda: self.rerouted,
+                        "chunks detoured off this port after a link kill")
+        metrics.gauge(comp, f"fabric_{self.name}_peak_backlog_ns",
+                      lambda: self.peak_backlog_ns,
+                      "worst queueing delay seen at this port")
+
+    def stats(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "rerouted": self.rerouted,
+            "peak_backlog_ns": self.peak_backlog_ns,
+            "busy_ticks": self.busy_ticks,
+        }
+
+
+class FabricNetwork:
+    """Message flows over one topology, with deterministic ECMP routing."""
+
+    def __init__(self, spec: TopologySpec, platform: Optional[Platform] = None,
+                 backend: str = "memcpy", cell: int = DEFAULT_CELL,
+                 sim: Optional[Simulator] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 egress_limit_cells: Optional[int] = None):
+        spec.validate()
+        self.spec = spec
+        self.platform = platform if platform is not None else clovertown_5000x()
+        self.cost: CostTable = cost_table(self.platform, backend, cell)
+        self.sim = sim if sim is not None else Simulator()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.routes = RouteTables(spec)
+        self.egress_limit_cells = egress_limit_cells
+        hosts = set(spec.hosts)
+        #: canonical (min,max) endpoint pair -> LinkSpec
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        for l in spec.links:
+            self._links[self._lkey(l.a, l.b)] = l
+        self._fwd_latency = {s.name: s.forwarding_latency for s in spec.switches}
+        self._is_host = hosts
+        #: direct host~host link (the switchless pair degenerate case)
+        self._direct: dict[str, str] = {}
+        for l in spec.links:
+            if l.a in hosts and l.b in hosts:
+                self._direct[l.a] = l.b
+                self._direct[l.b] = l.a
+        # lazy port maps
+        self._tx_ports: dict[str, FabricPort] = {}
+        self._sw_ports: dict[tuple[str, str], FabricPort] = {}
+        self._rx_cpu_ports: dict[str, FabricPort] = {}
+        self._rx_dma_ports: dict[str, FabricPort] = {}
+        #: per-(src,dst) message sequence counters: owned by the sender's
+        #: program order, so flow keys never depend on global dispatch order
+        self._pair_seq: dict[tuple[str, str], int] = {}
+        # flow counters
+        self.msgs_sent = 0
+        self.msgs_delivered = 0
+        self.msgs_failed = 0
+        self.chunks_forwarded = 0
+        self.chunks_dropped = 0
+        self.chunks_rerouted = 0
+        #: aggregate simulated CPU/DMA ticks spent in the fabric data plane
+        self.cpu_ticks = {"fabric_send": 0, "fabric_rx": 0, "fabric_dma": 0}
+        #: delivery/failure callback installed by the MPI layer
+        self.on_complete: Optional[Callable[[_Message], None]] = None
+        m = self.metrics
+        m.counter("fabric", "fabric_msgs_sent", lambda: self.msgs_sent)
+        m.counter("fabric", "fabric_msgs_delivered", lambda: self.msgs_delivered)
+        m.counter("fabric", "fabric_msgs_failed", lambda: self.msgs_failed)
+        m.counter("fabric", "fabric_chunks_forwarded", lambda: self.chunks_forwarded)
+        m.counter("fabric", "fabric_chunks_dropped", lambda: self.chunks_dropped)
+        m.counter("fabric", "fabric_chunks_rerouted", lambda: self.chunks_rerouted)
+        self.sim.add_teardown_check(self._check_quiesced)
+
+    @staticmethod
+    def _lkey(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a < b else (b, a)
+
+    def _link(self, a: str, b: str) -> LinkSpec:
+        return self._links[self._lkey(a, b)]
+
+    # -- lazy port construction -------------------------------------------
+
+    def _wire_service(self, bw: float) -> Callable[[_Chunk], int]:
+        wire_bytes = self.cost.wire_bytes
+
+        def service(chunk: _Chunk) -> int:
+            return transfer_time(wire_bytes(chunk.size), bw)
+
+        return service
+
+    def _limit_ns(self, bw: float) -> Optional[int]:
+        if self.egress_limit_cells is None:
+            return None
+        cell_ticks = transfer_time(self.cost.wire_bytes(self.cost.cell), bw)
+        return self.egress_limit_cells * cell_ticks
+
+    def host_tx_port(self, host: str) -> FabricPort:
+        """The host NIC egress serializer (access link, or the pair wire)."""
+        port = self._tx_ports.get(host)
+        if port is None:
+            peer = self._direct.get(host) or self.routes.edge_of[host]
+            link = self._link(host, peer)
+            delay = link.latency + self._fwd_latency.get(peer, 0)
+            port = FabricPort(self, f"{host}:tx", None,
+                              self._wire_service(link.bw), self._forward,
+                              delay, self._limit_ns(link.bw))
+            port.register_metrics(self.metrics)
+            self._tx_ports[host] = port
+        return port
+
+    def switch_port(self, switch: str, peer: str) -> FabricPort:
+        """The egress port of ``switch`` toward ``peer`` (switch or host)."""
+        key = (switch, peer)
+        port = self._sw_ports.get(key)
+        if port is None:
+            link = self._link(switch, peer)
+            delay = link.latency + self._fwd_latency.get(peer, 0)
+            port = FabricPort(self, f"{switch}:{peer}", switch,
+                              self._wire_service(link.bw), self._forward,
+                              delay, self._limit_ns(link.bw))
+            port.register_metrics(self.metrics)
+            self._sw_ports[key] = port
+        return port
+
+    def rx_cpu_port(self, host: str) -> FabricPort:
+        """The receiver's BH + copy (or submit/poll) CPU serializer."""
+        port = self._rx_cpu_ports.get(host)
+        if port is None:
+            cost = self.cost
+            handler = (self._after_rx_cpu if cost.dma_bw
+                       else self._chunk_delivered)
+            port = FabricPort(self, f"{host}:rx", None,
+                              lambda c: cost.rx_cpu(c.size), handler, 0)
+            port.register_metrics(self.metrics)
+            self._rx_cpu_ports[host] = port
+        return port
+
+    def rx_dma_port(self, host: str) -> FabricPort:
+        """The receiver's I/OAT engine serializer (offloaded copies)."""
+        port = self._rx_dma_ports.get(host)
+        if port is None:
+            cost = self.cost
+            port = FabricPort(self, f"{host}:dma", None,
+                              lambda c: cost.rx_dma(c.size),
+                              self._chunk_delivered, 0)
+            port.register_metrics(self.metrics)
+            self._rx_dma_ports[host] = port
+        return port
+
+    def ports(self) -> list[FabricPort]:
+        """Every port built so far, in canonical name order."""
+        out = (list(self._tx_ports.values()) + list(self._sw_ports.values())
+               + list(self._rx_cpu_ports.values())
+               + list(self._rx_dma_ports.values()))
+        out.sort(key=lambda p: p.name)
+        return out
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: str, dst: str, tag: int, nbytes: int) -> _Message:
+        """Start a message; returns the transfer handle.
+
+        The caller is a simulation process (the MPI layer charges the
+        sender CPU before calling).  Completion/failure is reported through
+        :attr:`on_complete`; the handle's ``error``/``t_done`` fields carry
+        the outcome.
+        """
+        seq = self._pair_seq.get((src, dst), 0)
+        self._pair_seq[(src, dst)] = seq + 1
+        now = self.sim.now
+        if src == dst:
+            path: Optional[tuple] = ()
+        elif self._direct.get(src) == dst:
+            # switchless pair: the tx port's wire IS the whole path
+            path = ()
+        else:
+            src_edge = self.routes.edge_of[src]
+            dst_edge = self.routes.edge_of[dst]
+            path = self.routes.path(src_edge, dst_edge,
+                                    f"{src}>{dst}/{tag}/{seq}")
+        msg = _Message(src, dst, tag, nbytes, seq, path or (), now)
+        self.msgs_sent += 1
+        sizes = self.cost.chunk_sizes(nbytes)
+        msg.n_chunks = len(sizes)
+        msg.rx_remaining = len(sizes)
+        msg.tx_remaining = len(sizes)
+        self.cpu_ticks["fabric_send"] += self.cost.send_cpu(nbytes)
+        if path is None:
+            self._fail(msg, FabricPartitioned(src, dst, tag,
+                                              where=self.routes.edge_of[src],
+                                              detail="no live path at send"))
+            return msg
+        if src == dst:
+            msg.tx_remaining = 0
+            rx = self.rx_cpu_port(dst)
+            for i, size in enumerate(sizes):
+                rx.enqueue(_Chunk(msg, size, i))
+            return msg
+        tx = self.host_tx_port(src)
+        for i, size in enumerate(sizes):
+            tx.enqueue(_Chunk(msg, size, i))
+        return msg
+
+    # -- chunk pipeline ----------------------------------------------------
+
+    def _forward(self, chunk: _Chunk) -> None:
+        """Arrival at the next node on the walk (scheduled by a port)."""
+        msg = chunk.msg
+        if msg.failed:
+            return
+        if not chunk.txed:
+            # first arrival off the source NIC: the send buffer is free
+            chunk.txed = True
+            msg.tx_remaining -= 1
+            if msg.tx_remaining == 0 and msg.on_tx is not None:
+                msg.on_tx()
+        path = chunk.path
+        if chunk.hop >= len(path):
+            self.rx_cpu_port(msg.dst).enqueue(chunk)
+            return
+        here = path[chunk.hop]
+        nxt = path[chunk.hop + 1] if chunk.hop + 1 < len(path) else msg.dst
+        chunk.hop += 1
+        self.chunks_forwarded += 1
+        self.switch_port(here, nxt).enqueue(chunk)
+
+    def _after_rx_cpu(self, chunk: _Chunk) -> None:
+        if chunk.msg.failed:
+            return
+        self.cpu_ticks["fabric_rx"] += self.cost.rx_cpu(chunk.size)
+        self.rx_dma_port(chunk.msg.dst).enqueue(chunk)
+
+    def _chunk_delivered(self, chunk: _Chunk) -> None:
+        msg = chunk.msg
+        if msg.failed:
+            return
+        if self.cost.dma_bw:
+            self.cpu_ticks["fabric_dma"] += self.cost.rx_dma(chunk.size)
+        else:
+            self.cpu_ticks["fabric_rx"] += self.cost.rx_cpu(chunk.size)
+        msg.rx_remaining -= 1
+        if msg.rx_remaining == 0:
+            msg.t_done = self.sim.now
+            self.msgs_delivered += 1
+            if self.on_complete is not None:
+                self.on_complete(msg)
+
+    # -- failure and rerouting ---------------------------------------------
+
+    def _drop(self, chunk: _Chunk, where: str) -> None:
+        self.chunks_dropped += 1
+        msg = chunk.msg
+        if not msg.failed:
+            self._fail(msg, DeliveryFailed(
+                msg.dst, retries=0,
+                detail=f"fabric chunk {chunk.idx} dropped at {where}"))
+
+    def _reroute(self, chunk: _Chunk, at_switch: Optional[str],
+                 port_name: str) -> None:
+        """Detour a chunk stranded on a dead port, or fail its message."""
+        msg = chunk.msg
+        if msg.failed:
+            return
+        if at_switch is None:
+            # a host-owned stage died: no detour exists for an access link
+            self._fail(msg, FabricPartitioned(msg.src, msg.dst, msg.tag,
+                                              where=port_name,
+                                              detail="access link down"))
+            return
+        dst_edge = self.routes.edge_of[msg.dst]
+        # A fresh ECMP draw per routing epoch: the detour is a function of
+        # the flow key and the live-link set, never of dispatch order.
+        flow = f"{msg.flow}/r{self.routes.version}/c{chunk.idx}"
+        path = self.routes.path(at_switch, dst_edge, flow)
+        if path is None:
+            self._fail(msg, FabricPartitioned(msg.src, msg.dst, msg.tag,
+                                              where=at_switch,
+                                              detail="no detour after link kill"))
+            return
+        self.chunks_rerouted += 1
+        chunk.path = path
+        chunk.hop = 0
+        self._forward(chunk)
+
+    def _fail(self, msg: _Message, error: Exception) -> None:
+        if msg.failed:
+            return
+        msg.error = error
+        msg.t_done = self.sim.now
+        self.msgs_failed += 1
+        if self.on_complete is not None:
+            self.on_complete(msg)
+
+    # -- fault surface -------------------------------------------------------
+
+    def kill_link(self, name: str, at: Optional[int] = None) -> None:
+        """Cut the named link (``"a~b"``), now or at absolute time ``at``."""
+        link = self.spec.link_named(name)
+        if at is not None and at > self.sim.now:
+            self.sim.call_at(at, self._kill_link_now, link)
+        else:
+            self._kill_link_now(link)
+
+    def _kill_link_now(self, link: LinkSpec) -> None:
+        a, b = link.a, link.b
+        trunk = a not in self._is_host and b not in self._is_host
+        if trunk:
+            self.routes.kill_link(a, b)
+        for port in self._ports_of_link(a, b):
+            port.alive = False
+            if port.pending and port._arb_at <= self.sim.now:
+                port._arb_at = self.sim.now + 1
+                self.sim.call_at(port._arb_at, port._arbitrate)
+
+    def revive_link(self, name: str, at: Optional[int] = None) -> None:
+        link = self.spec.link_named(name)
+        if at is not None and at > self.sim.now:
+            self.sim.call_at(at, self._revive_link_now, link)
+        else:
+            self._revive_link_now(link)
+
+    def _revive_link_now(self, link: LinkSpec) -> None:
+        a, b = link.a, link.b
+        if a not in self._is_host and b not in self._is_host:
+            self.routes.revive_link(a, b)
+        for port in self._ports_of_link(a, b):
+            port.alive = True
+
+    def _ports_of_link(self, a: str, b: str) -> list[FabricPort]:
+        """Both directions' egress ports of one cable (built if absent)."""
+        out = []
+        for near, far in ((a, b), (b, a)):
+            if near in self._is_host:
+                out.append(self.host_tx_port(near))
+            else:
+                out.append(self.switch_port(near, far))
+        return out
+
+    # -- teardown ------------------------------------------------------------
+
+    def _check_quiesced(self) -> None:
+        """Sanitizer: no stranded chunks or half-finished messages."""
+        stuck = sorted(p.name for p in self.ports()
+                       if any(not e[2].msg.failed for e in p.pending))
+        if stuck:
+            raise AssertionError(
+                f"fabric teardown: chunks still queued on ports {stuck}")
+        open_msgs = self.msgs_sent - self.msgs_delivered - self.msgs_failed
+        if open_msgs:
+            raise AssertionError(
+                f"fabric teardown: {open_msgs} message(s) neither delivered "
+                "nor failed")

@@ -1,0 +1,297 @@
+"""Fabric sweep cells: collectives over generated topologies, as data.
+
+One *cell* runs one collective (allreduce / alltoall / bcast /
+reduce_scatter / allgather / barrier) over one generated topology with one
+receive-copy backend and returns a JSON-stable dict — no wall-clock, no
+object references — so the sweep executor can cache it and two runs of the
+same cell compare byte-identical (the ``fabric_sweep`` acceptance bar).
+
+Three entry points:
+
+* :func:`run_fabric_collective` — build spec, launch a
+  :class:`~repro.fabric.mpi.FabricWorld`, run the collective SPMD, report;
+* :func:`point_fabric` / :func:`point_fabric_cell` — top-level picklable
+  wrappers registered as the ``"fabric"`` / ``"fabric_cell"`` lazy point
+  kinds in :mod:`repro.reporting.sweeps`;
+* :func:`fabric_scenario` — the ``--races`` corpus entry: the same cell
+  packaged as a zero-arg callable returning an
+  :class:`~repro.analysis.races.Observation`.
+
+The fault cell (:func:`run_fabric_cell`) arms a
+:class:`~repro.faults.plan.FaultPlan` whose ``fabric`` specs kill named
+links mid-collective, then classifies the outcome: ``"rerouted"`` when the
+collective completed over recomputed ECMP tables, ``"failed:<Type>"`` when
+the partition surfaced as a typed :class:`~repro.core.errors.TransferError`.
+Both classifications are byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, Optional
+
+from repro.core.errors import TransferError
+from repro.fabric.cost import DEFAULT_CELL
+from repro.fabric.mpi import FabricRank, FabricWorld, launch_fabric_world
+from repro.fabric.spec import (
+    TopologySpec,
+    dragonfly,
+    fat_tree,
+    pair_topology,
+    star_topology,
+)
+from repro.units import KiB, throughput_mib_s, us
+
+#: topology kinds a sweep point may name
+TOPOLOGIES = ("pair", "star", "fat_tree2", "fat_tree3", "dragonfly")
+
+#: collectives a sweep point may name (all run unmodified generators)
+COLLECTIVES = ("barrier", "bcast", "allreduce", "reduce_scatter",
+               "allgather", "alltoall")
+
+#: event-budget fuse per cell: generous for a 1024-host allreduce, small
+#: enough that a livelocked cell dies loudly instead of spinning forever
+CELL_MAX_EVENTS = 50_000_000
+
+
+def make_topology(topology: str, hosts: int, oversubscription: float = 1.0,
+                  hosts_per_edge: int = 8,
+                  ecmp_seed: str = "fabric") -> TopologySpec:
+    """Build the named topology for (at least) ``hosts`` hosts.
+
+    Generators have structural constraints (divisibility, k-arity); the
+    spec returned may round the host count up to the nearest shape the
+    generator supports — callers read the actual count off the spec.
+    """
+    if topology == "pair":
+        return pair_topology()
+    if topology == "star":
+        return star_topology(max(hosts, 2))
+    if topology == "fat_tree2":
+        hpe = math.gcd(hosts, hosts_per_edge) if hosts % hosts_per_edge else \
+            hosts_per_edge
+        return fat_tree(hosts=hosts, tiers=2, hosts_per_edge=max(hpe, 1),
+                        oversubscription=oversubscription,
+                        ecmp_seed=ecmp_seed)
+    if topology == "fat_tree3":
+        k = 2
+        while k * k * k // 4 < hosts:
+            k += 2
+        return fat_tree(tiers=3, k=k, oversubscription=oversubscription,
+                        ecmp_seed=ecmp_seed)
+    if topology == "dragonfly":
+        groups = max(2, -(-hosts // 4))
+        return dragonfly(groups=groups, routers_per_group=2,
+                         hosts_per_router=2, ecmp_seed=ecmp_seed)
+    raise ValueError(f"unknown topology {topology!r}; "
+                     f"expected one of {TOPOLOGIES}")
+
+
+def collective_body(collective: str, size: int,
+                    algo: str = "auto") -> Callable[[FabricRank], Generator]:
+    """The SPMD body for one collective; ``size`` is the per-rank payload
+    (per-peer block for alltoall / allgather / reduce_scatter)."""
+    if collective not in COLLECTIVES:
+        raise ValueError(f"unknown collective {collective!r}; "
+                         f"expected one of {COLLECTIVES}")
+
+    def body(rank: FabricRank) -> Generator:
+        p = rank.size
+        if collective == "barrier":
+            yield from rank.barrier()
+        elif collective == "bcast":
+            buf = rank.space.alloc(size)
+            yield from rank.bcast(buf, root=0)
+        elif collective == "allreduce":
+            sendbuf = rank.space.alloc(size)
+            recvbuf = rank.space.alloc(size)
+            yield from rank.allreduce(sendbuf, recvbuf, algo=algo)
+        elif collective == "reduce_scatter":
+            sendbuf = rank.space.alloc(size * p)
+            recvbuf = rank.space.alloc(size)
+            yield from rank.reduce_scatter(sendbuf, recvbuf, size)
+        elif collective == "allgather":
+            sendbuf = rank.space.alloc(size)
+            recvbuf = rank.space.alloc(size * p)
+            yield from rank.allgather(sendbuf, recvbuf, size)
+        else:  # alltoall
+            sendbuf = rank.space.alloc(size * p)
+            recvbuf = rank.space.alloc(size * p)
+            yield from rank.alltoall(sendbuf, recvbuf, size)
+
+    return body
+
+
+def _net_stats(world: FabricWorld) -> dict:
+    net = world.net
+    return {
+        "msgs_sent": net.msgs_sent,
+        "msgs_delivered": net.msgs_delivered,
+        "msgs_failed": net.msgs_failed,
+        "chunks_forwarded": net.chunks_forwarded,
+        "chunks_dropped": net.chunks_dropped,
+        "chunks_rerouted": net.chunks_rerouted,
+    }
+
+
+def run_fabric_collective(topology: str = "fat_tree2", hosts: int = 64,
+                          oversubscription: float = 1.0,
+                          collective: str = "allreduce",
+                          size: int = 64 * KiB, backend: str = "memcpy",
+                          algo: str = "auto", cell: int = DEFAULT_CELL,
+                          hosts_per_edge: int = 8,
+                          ecmp_seed: str = "fabric",
+                          egress_limit_cells: Optional[int] = None) -> dict:
+    """Run one fault-free fabric cell and report it as JSON-stable data."""
+    spec = make_topology(topology, hosts, oversubscription, hosts_per_edge,
+                         ecmp_seed)
+    world = launch_fabric_world(spec, backend=backend, cell=cell,
+                                egress_limit_cells=egress_limit_cells)
+    body = collective_body(collective, size, algo)
+    world.run_spmd(body, max_events=CELL_MAX_EVENTS)
+    world.finish()
+    t = world.sim.now
+    return {
+        "topology": spec.name,
+        "kind": topology,
+        "hosts": world.size,
+        "oversubscription": oversubscription,
+        "collective": collective,
+        "size": size,
+        "backend": backend,
+        "algo": algo,
+        "time_ns": t,
+        "mib_s": round(throughput_mib_s(size, t), 3) if t else 0.0,
+        "events": world.sim.events_processed,
+        "net": _net_stats(world),
+        "cpu_ticks": {k: world.cpu[k] for k in sorted(world.cpu)},
+    }
+
+
+def point_fabric(**params) -> dict:
+    """Top-level sweep point (the ``"fabric"`` lazy kind): one fault-free
+    fabric collective cell, picklable for subprocess executors."""
+    return run_fabric_collective(**params)
+
+
+# ---------------------------------------------------------------------------
+# fault cell: kill a spine link mid-collective
+# ---------------------------------------------------------------------------
+
+
+def spine_kill_plan(spec: TopologySpec, at: int, seed: str = "0"):
+    """A :class:`~repro.faults.plan.FaultPlan` killing the first (sorted)
+    spine trunk of ``spec`` at absolute time ``at``."""
+    from repro.faults.plan import FabricFaultSpec, FaultPlan
+
+    spines = {s.name for s in spec.switches if s.tier == "spine"}
+    trunks = sorted(l.name for l in spec.trunk_links()
+                    if l.a in spines or l.b in spines)
+    if not trunks:
+        raise ValueError(f"{spec.name}: no spine trunk to kill")
+    return FaultPlan(
+        name=f"spine-kill@{at}",
+        seed=seed,
+        fabric=(FabricFaultSpec(link=trunks[0], action="kill", at=at),),
+    )
+
+
+def run_fabric_cell(topology: str = "fat_tree2", hosts: int = 16,
+                    oversubscription: float = 1.0,
+                    collective: str = "allreduce", size: int = 64 * KiB,
+                    backend: str = "ioat", algo: str = "auto",
+                    cell: int = DEFAULT_CELL, hosts_per_edge: int = 4,
+                    kill_at: int = us(50), plan: Optional[dict] = None,
+                    ecmp_seed: str = "fabric") -> dict:
+    """One fabric *fault* cell: run the collective under an armed plan.
+
+    ``plan`` is a :meth:`~repro.faults.plan.FaultPlan.to_dict` dict (the
+    sweep executor needs JSON params); when None, a spine-kill plan firing
+    at ``kill_at`` is generated from the topology.  The outcome classifies
+    as ``"rerouted"`` (completed over recomputed routes), ``"completed"``
+    (the kill touched no in-flight flow) or ``"failed:<Type>"`` (typed
+    partition error) — byte-identically per seed.
+    """
+    from repro.faults.injectors import arm_plan
+    from repro.faults.plan import FaultPlan
+
+    spec = make_topology(topology, hosts, oversubscription, hosts_per_edge,
+                         ecmp_seed)
+    fplan = (FaultPlan.from_dict(plan) if plan is not None
+             else spine_kill_plan(spec, kill_at))
+    world = launch_fabric_world(spec, backend=backend, cell=cell)
+    armed = arm_plan(world, fplan)
+    body = collective_body(collective, size, algo)
+    error: Optional[BaseException] = None
+    try:
+        world.run_spmd(body, max_events=CELL_MAX_EVENTS)
+        world.sim.run()
+    except TransferError as exc:
+        error = exc
+    net = world.net
+    if error is not None:
+        outcome = f"failed:{type(error).__name__}"
+    elif net.chunks_rerouted:
+        outcome = "rerouted"
+    else:
+        outcome = "completed"
+    return {
+        "topology": spec.name,
+        "hosts": world.size,
+        "collective": collective,
+        "size": size,
+        "backend": backend,
+        "plan": fplan.name,
+        "fabric_faults_armed": armed.fabric_armed,
+        "outcome": outcome,
+        "error": type(error).__name__ if error is not None else None,
+        "detail": str(error) if error is not None else "",
+        "end_time": world.sim.now,
+        "net": _net_stats(world),
+    }
+
+
+def point_fabric_cell(**params) -> dict:
+    """Top-level sweep point (the ``"fabric_cell"`` lazy kind)."""
+    return run_fabric_cell(**params)
+
+
+# ---------------------------------------------------------------------------
+# --races corpus entry
+# ---------------------------------------------------------------------------
+
+
+def fabric_scenario(hosts: int = 8, size: int = 8 * KiB,
+                    backend: str = "ioat", collective: str = "allreduce",
+                    oversubscription: float = 2.0,
+                    algo: str = "auto") -> Callable:
+    """A race-detector scenario: one collective on a small 2-tier fat tree.
+
+    The fabric has no per-host trace recorders; the observation is the
+    network's full metric snapshot (every port's counters plus the
+    aggregate flow counters), the final simulated time, and the per-cell
+    outcome string — everything the sweep reports are built from.
+    """
+    from repro.analysis.races import Observation
+
+    def scenario() -> Observation:
+        spec = make_topology("fat_tree2", hosts, oversubscription,
+                             hosts_per_edge=max(2, hosts // 2),
+                             ecmp_seed="races")
+        world = launch_fabric_world(spec, backend=backend)
+        schedule = world.sim.record_schedule()
+        body = collective_body(collective, size, algo)
+        world.run_spmd(body, max_events=CELL_MAX_EVENTS)
+        world.finish()
+        return Observation(
+            counters={"fabric": world.net.metrics.snapshot()},
+            digests={},
+            end_time=world.sim.now,
+            pushes=world.sim._seq,
+            schedule=schedule,
+            outcomes={"cell": "completed",
+                      "cpu": ",".join(f"{k}={world.cpu[k]}"
+                                      for k in sorted(world.cpu))},
+        )
+
+    return scenario

@@ -129,6 +129,7 @@ class ArmedPlan:
         self.nic_gates: list[WindowGate] = []
         self.switch_fault: Optional[SwitchEgressFault] = None
         self.ioat_armed = 0
+        self.fabric_armed = 0
 
     def counters(self) -> dict[str, int]:
         c = {
@@ -145,22 +146,26 @@ class ArmedPlan:
             self.switch_fault.hits if self.switch_fault is not None else 0
         )
         c["ioat_faults_armed"] = self.ioat_armed
+        c["fabric_faults_armed"] = self.fabric_armed
         return c
 
 
 def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
     """Wire ``plan`` into ``tb``; returns the armed view for reporting.
 
-    Works on both testbed shapes: back-to-back (``tb.link``) and switched
-    (``tb.switch`` with per-port links).  Specs that reference hardware
-    the testbed lacks (a switch port on a switchless testbed) raise —
-    a plan silently not applying would invalidate the whole cell.
+    Works on every testbed shape: back-to-back (``tb.link``), switched
+    (``tb.switch`` with per-port links) and fabric worlds (``tb.net``, a
+    :class:`~repro.fabric.network.FabricNetwork` whose named links the
+    ``fabric`` specs target).  Specs that reference hardware the testbed
+    lacks (a switch port on a switchless testbed, a fabric link name the
+    topology doesn't have) raise — a plan silently not applying would
+    invalidate the whole cell.
     """
     armed = ArmedPlan(plan)
     switch = getattr(tb, "switch", None)
 
     for i, spec in enumerate(plan.links):
-        if tb.link is not None:
+        if getattr(tb, "link", None) is not None:
             links = [(tb.link, "")]
         elif switch is None:
             raise ValueError("link fault on a testbed with no link or switch")
@@ -215,4 +220,16 @@ def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
                     spec.at, lambda c=ch, d=duration: c.stall(d)
                 )
             armed.ioat_armed += 1
+
+    if plan.fabric:
+        net = getattr(tb, "net", None)
+        if net is None:
+            raise ValueError("fabric fault plan on a non-fabric testbed")
+        for spec in plan.fabric:
+            net.spec.link_named(spec.link)  # raises on an unknown name
+            if spec.action == "kill":
+                net.kill_link(spec.link, at=spec.at)
+            else:
+                net.revive_link(spec.link, at=spec.at)
+            armed.fabric_armed += 1
     return armed

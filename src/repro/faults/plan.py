@@ -89,6 +89,28 @@ class IoatFaultSpec:
 
 
 @dataclass(frozen=True)
+class FabricFaultSpec:
+    """Kill (or revive) one *named* fabric link at absolute time ``at``.
+
+    ``link`` is the spec-level ``"a~b"`` name (either orientation); on a
+    fabric world the kill recomputes the seeded ECMP tables and strands
+    in-queue chunks onto deterministic detours — or fails their messages
+    with :class:`~repro.core.errors.FabricPartitioned` when no path is
+    left.  Unlike the frame-level specs above this targets the chunk-level
+    :class:`~repro.fabric.network.FabricNetwork`, so it composes with the
+    fat-tree/dragonfly topologies the frame-level models never see.
+    """
+
+    link: str
+    action: str = "kill"  # "kill" | "revive"
+    at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "revive"):
+            raise ValueError(f"unknown fabric fault action {self.action!r}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One named, seeded composition of fault specs across the layers."""
 
@@ -98,12 +120,13 @@ class FaultPlan:
     nics: tuple = ()
     switches: tuple = ()
     ioat: tuple = ()
+    fabric: tuple = ()
 
     # -- JSON round-trip -------------------------------------------------
 
     def to_dict(self) -> dict:
         d = asdict(self)
-        for key in ("links", "nics", "switches", "ioat"):
+        for key in ("links", "nics", "switches", "ioat", "fabric"):
             d[key] = list(d[key])
         return d
 
@@ -125,6 +148,7 @@ class FaultPlan:
             nics=tup(NicFaultSpec, d.get("nics", ())),
             switches=tup(SwitchFaultSpec, d.get("switches", ())),
             ioat=tup(IoatFaultSpec, d.get("ioat", ())),
+            fabric=tup(FabricFaultSpec, d.get("fabric", ())),
         )
 
 

@@ -164,8 +164,24 @@ def reduce(rank: "Rank", sendbuf, recvbuf, root: int = 0, length=None) -> Genera
 # Allreduce
 # ---------------------------------------------------------------------------
 
-def allreduce(rank: "Rank", sendbuf, recvbuf, length=None) -> Generator:
-    """Recursive doubling (power-of-two), else reduce + bcast."""
+#: selectable allreduce algorithms (``algo=`` kwarg)
+ALLREDUCE_ALGOS = ("auto", "ring", "rd")
+
+
+def allreduce(rank: "Rank", sendbuf, recvbuf, length=None,
+              algo: str = "auto") -> Generator:
+    """Sum-allreduce with a selectable algorithm.
+
+    * ``"auto"`` (default, unchanged): recursive doubling when the rank
+      count is a power of two, else reduce + bcast;
+    * ``"ring"``: reduce-scatter ring followed by an allgather ring —
+      bandwidth-optimal for large buffers, 2(p-1) steps;
+    * ``"rd"``: recursive doubling at every rank count, folding the ranks
+      beyond the largest power of two into their partners first.
+    """
+    if algo not in ALLREDUCE_ALGOS:
+        raise ValueError(f"unknown allreduce algo {algo!r}; "
+                         f"expected one of {ALLREDUCE_ALGOS}")
     p = rank.size
     n = (len(sendbuf) if length is None else length)
     tag = _coll_tag(rank)
@@ -173,6 +189,12 @@ def allreduce(rank: "Rank", sendbuf, recvbuf, length=None) -> Generator:
         yield from rank.core.execute(max(int(n * SEC / REDUCE_BW), 1), "user")
         recvbuf.read(0, n)[:] = sendbuf.read(0, n)
     if p == 1:
+        return None
+    if algo == "ring":
+        yield from _allreduce_ring(rank, recvbuf, n, tag)
+        return None
+    if algo == "rd":
+        yield from _allreduce_rd(rank, recvbuf, n, tag)
         return None
     if p & (p - 1):  # not a power of two
         yield from reduce(rank, recvbuf, recvbuf, 0, n)
@@ -188,6 +210,94 @@ def allreduce(rank: "Rank", sendbuf, recvbuf, length=None) -> Generator:
         yield from _accumulate(rank, recvbuf, 0, tmp, 0, n)
         mask *= 2
         step += 1
+    return None
+
+
+def _allreduce_ring(rank: "Rank", buf, n: int, tag: int) -> Generator:
+    """Reduce-scatter ring + allgather ring over ``buf`` (already seeded).
+
+    Blocks are cut on 4-byte boundaries so the float32 reduction view stays
+    aligned; the last rank's block absorbs the remainder.  Zero-sized
+    blocks (buffers smaller than 4p bytes) skip their wire steps, like
+    :func:`allgatherv` does.
+    """
+    p = rank.size
+    if n == 0:
+        return None
+    base = (n // p) & ~3
+    sizes = [base] * (p - 1) + [n - base * (p - 1)]
+    displs = [base * i for i in range(p)]
+    right = (rank.rank + 1) % p
+    left = (rank.rank - 1) % p
+    tmp = _scratch(rank, "arr_tmp", sizes[p - 1])
+    # Phase 1: reduce-scatter ring; after step s, block (r - s - 1) % p on
+    # rank r holds the partial sum of s + 2 contributions.
+    for step in range(p - 1):
+        sb = (rank.rank - step) % p
+        rb = (rank.rank - step - 1) % p
+        sn, rn = sizes[sb], sizes[rb]
+        rreq = sreq = None
+        if rn:
+            rreq = yield from rank.irecv(left, tmp, 0, rn, tag + step)
+        if sn:
+            sreq = yield from rank.isend(right, buf, displs[sb], sn, tag + step)
+        if sreq is not None:
+            yield from rank.wait(sreq)
+        if rreq is not None:
+            yield from rank.wait(rreq)
+        if rn:
+            yield from _accumulate(rank, buf, displs[rb], tmp, 0, rn)
+    # Phase 2: allgather ring, forwarding the newest finished block.
+    for step in range(p - 1):
+        sb = (rank.rank + 1 - step) % p
+        rb = (rank.rank - step) % p
+        sn, rn = sizes[sb], sizes[rb]
+        rreq = sreq = None
+        if rn:
+            rreq = yield from rank.irecv(left, buf, displs[rb], rn,
+                                         tag + p + step)
+        if sn:
+            sreq = yield from rank.isend(right, buf, displs[sb], sn,
+                                         tag + p + step)
+        if sreq is not None:
+            yield from rank.wait(sreq)
+        if rreq is not None:
+            yield from rank.wait(rreq)
+    return None
+
+
+def _allreduce_rd(rank: "Rank", buf, n: int, tag: int) -> Generator:
+    """Recursive doubling over ``buf`` (already seeded) at any rank count.
+
+    Ranks beyond the largest power of two fold their contribution into
+    rank - pow2 first, sit out the doubling, and receive the result back —
+    the MPICH non-power-of-two prologue/epilogue.
+    """
+    p = rank.size
+    if n == 0:
+        return None
+    pow2 = 1 << (p.bit_length() - 1)
+    rem = p - pow2
+    me = rank.rank
+    if me >= pow2:
+        yield from rank.send(me - pow2, buf, 0, n, tag)
+        yield from rank.recv(me - pow2, buf, 0, n, tag + 1)
+        return None
+    tmp = _scratch(rank, "ard_tmp", n)
+    if me < rem:
+        yield from rank.recv(me + pow2, tmp, 0, n, tag)
+        yield from _accumulate(rank, buf, 0, tmp, 0, n)
+    mask = 1
+    step = 2
+    while mask < pow2:
+        partner = me ^ mask
+        yield from rank.sendrecv(partner, buf, partner, tmp, length=n,
+                                 stag=tag + step, rtag=tag + step)
+        yield from _accumulate(rank, buf, 0, tmp, 0, n)
+        mask *= 2
+        step += 1
+    if me < rem:
+        yield from rank.send(me + pow2, buf, 0, n, tag + 1)
     return None
 
 

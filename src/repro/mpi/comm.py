@@ -71,10 +71,10 @@ class Rank:
 
         return collectives.reduce(self, sendbuf, recvbuf, root, length)
 
-    def allreduce(self, sendbuf, recvbuf, length=None):
+    def allreduce(self, sendbuf, recvbuf, length=None, algo: str = "auto"):
         from repro.mpi import collectives
 
-        return collectives.allreduce(self, sendbuf, recvbuf, length)
+        return collectives.allreduce(self, sendbuf, recvbuf, length, algo=algo)
 
     def reduce_scatter(self, sendbuf, recvbuf, block_length):
         from repro.mpi import collectives

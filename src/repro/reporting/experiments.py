@@ -406,6 +406,61 @@ def engine_shootout(quick: bool = False,
 
 
 # ---------------------------------------------------------------------------
+# Fabric sweep — collectives at datacenter scale (ROADMAP item 1)
+# ---------------------------------------------------------------------------
+
+def fabric_sweep(quick: bool = False,
+                 executor: Optional[SweepExecutor] = None) -> Table:
+    """Allreduce/alltoall over 2-tier fat trees: size x hosts x
+    oversubscription x copy backend (chunk-level fabric model).
+
+    Sweeps the paper's receive-copy question at fabric scale: does I/OAT
+    offload still pay when the bottleneck could be an oversubscribed
+    trunk instead of the receiver's memory bus?  Writes the full grid to
+    ``results/fabric_sweep.json`` (sorted keys, byte-stable per seed).
+    """
+    from repro.faults.campaign import write_report
+
+    if quick:
+        grid = [("allreduce", h, os_, s)
+                for h in (32,)
+                for os_ in (1.0, 4.0)
+                for s in (4 * KiB, 64 * KiB)]
+        grid += [("alltoall", 32, os_, 4 * KiB) for os_ in (1.0, 4.0)]
+    else:
+        grid = [("allreduce", h, os_, s)
+                for h in (64, 256)
+                for os_ in (1.0, 4.0)
+                for s in (4 * KiB, 64 * KiB, 1 * MiB)]
+        grid += [("alltoall", 64, os_, s)
+                 for os_ in (1.0, 4.0)
+                 for s in (4 * KiB, 16 * KiB)]
+    points = [
+        point("fabric", topology="fat_tree2", hosts=hosts,
+              oversubscription=os_, collective=coll, size=size,
+              backend=backend)
+        for coll, hosts, os_, size in grid
+        for backend in ("memcpy", "ioat")
+    ]
+    values = _executor(executor).run(points)
+    write_report({"cells": values}, "results/fabric_sweep.json")
+
+    t = Table(
+        "FABRIC: collectives over 2-tier fat trees "
+        "(memcpy vs I/OAT receive copy)",
+        ["collective", "hosts", "oversub", "size", "backend",
+         "time (us)", "MiB/s", "events"],
+    )
+    it = iter(values)
+    for coll, hosts, os_, size in grid:
+        for backend in ("memcpy", "ioat"):
+            cell = next(it)
+            t.add_row(coll, cell["hosts"], f"{os_:g}", _sz(size), backend,
+                      cell["time_ns"] // 1000, cell["mib_s"], cell["events"])
+    return t
+
+
+# ---------------------------------------------------------------------------
 # registry + CLI
 # ---------------------------------------------------------------------------
 
@@ -420,6 +475,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig12": fig12,
     "nas": nas,
     "engine_shootout": engine_shootout,
+    "fabric_sweep": fabric_sweep,
 }
 
 

@@ -200,6 +200,8 @@ LAZY_POINT_KINDS: dict[str, str] = {
     "fault_cell": "repro.faults.campaign:point_fault_cell",
     "cpu_profile": "repro.obs.profiler:point_cpu_profile",
     "vectored": "repro.workloads.vectored:point_vectored",
+    "fabric": "repro.fabric.sweep:point_fabric",
+    "fabric_cell": "repro.fabric.sweep:point_fabric_cell",
 }
 
 

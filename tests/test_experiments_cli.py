@@ -11,7 +11,7 @@ class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         assert set(EXPERIMENTS) == {
             "fig3", "fig7", "micro", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "nas", "engine_shootout",
+            "fig12", "nas", "engine_shootout", "fabric_sweep",
         }
 
     def test_micro_runs_standalone(self):
