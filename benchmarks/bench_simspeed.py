@@ -196,6 +196,7 @@ def run_suite() -> dict:
         "min_events_per_s": MIN_EVENTS_PER_SECOND,
         "kernel_microbench": kernel_microbench(),
         "fabric_microbench": fabric_microbench(),
+        "fabric_soak_microbench": fabric_soak_microbench(),
     }
 
 
@@ -222,6 +223,12 @@ MIN_KERNEL_OPS_PER_SECOND = {
 #: fat-tree allreduce), at roughly a third of the measured rate — flags a
 #: per-host or per-port scaling regression in the fabric world launcher
 MIN_FABRIC_EVENTS_PER_SECOND = 90_000
+
+#: events/second floor for the fabric gray-failure soak (fat_tree3,
+#: flap + degrade + lossy + rank kill, shrink-capable allreduce rounds) —
+#: at roughly a third of the measured rate, so the retry/reroute/health
+#: machinery cannot quietly turn the chaos path superlinear
+MIN_FABRIC_SOAK_EVENTS_PER_SECOND = 60_000
 
 #: the fabric microbench workload (kept out of the baseline-compared
 #: figure loop: the baseline tree predates repro.fabric)
@@ -312,6 +319,122 @@ def fabric_microbench() -> dict:
         "events_per_s": round(cell["events"] / cpu_s),
         "sim_time_us": cell["time_ns"] // 1000,
     }
+
+
+def fabric_soak_microbench() -> dict:
+    """Time one fabric gray-failure soak (the ``gray-crash`` spec) end to
+    end: flapping + degraded + lossy trunks over a 3-tier fat-tree while a
+    rank is crash-stopped mid-arc and the allreduce rounds shrink to the
+    survivors.  This is the chaos path the resilience PR added — retries,
+    reroutes, health sampling, declaration waves — so its events/second
+    floor guards exactly the code the fault-free microbench never enters.
+    """
+    from repro.faults.soak import fabric_soak_suite, run_fabric_soak
+
+    spec = [s for s in fabric_soak_suite("bench")
+            if s.name == "gray-crash"][0]
+    ev0 = Simulator.events_total
+    t0 = time.process_time()
+    report = run_fabric_soak(spec)
+    cpu_s = time.process_time() - t0
+    events = Simulator.events_total - ev0
+    return {
+        "soak": spec.name,
+        "topology": report["topology"],
+        "hosts": report["hosts"],
+        "events": events,
+        "cpu_s": round(cpu_s, 3),
+        "events_per_s": round(events / cpu_s) if cpu_s > 0 else 0,
+        "sim_time_us": report["end_time"] // 1000,
+        "dead_ranks": report["dead_ranks"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# fabric-resilience zero-overhead gate
+# ---------------------------------------------------------------------------
+
+#: an idle FabricResilience attachment (constructed, never watching) must
+#: keep the collective's CPU time within this factor of the bare run
+RESILIENCE_OVERHEAD_MAX_RATIO = 1.05
+
+#: wall-clock slack absorbing scheduler noise on a sub-second cell
+RESILIENCE_CPU_EPSILON_S = 0.25
+
+#: the comparison workload: big enough that a per-chunk hook would show,
+#: small enough to keep the gate sub-second per side
+_RES_HOSTS = 64
+_RES_SIZE = 64 * 1024
+
+
+def _run_fabric_bare_or_idle(idle_resilience: bool) -> dict:
+    """One fat-tree allreduce; optionally with an idle resilience layer."""
+    from repro.fabric.mpi import launch_fabric_world
+    from repro.fabric.sweep import CELL_MAX_EVENTS, collective_body, make_topology
+
+    spec = make_topology("fat_tree2", _RES_HOSTS, 2.0)
+    world = launch_fabric_world(spec, backend="memcpy")
+    if idle_resilience:
+        from repro.fabric.resilience import FabricResilience
+
+        FabricResilience(world.net, seed="bench-idle")  # no watch() call
+    ev0 = Simulator.events_total
+    t0 = time.process_time()
+    world.run_spmd(collective_body("allreduce", _RES_SIZE),
+                   max_events=CELL_MAX_EVENTS)
+    world.finish()
+    return {
+        "cpu_s": time.process_time() - t0,
+        "events": Simulator.events_total - ev0,
+        "time_ns": world.sim.now,
+    }
+
+
+def measure_resilience_overhead() -> dict:
+    """Back-to-back in-process comparison: bare world vs idle attachment."""
+    bare = _run_fabric_bare_or_idle(False)
+    idle = _run_fabric_bare_or_idle(True)
+    return {
+        "hosts": _RES_HOSTS,
+        "size": _RES_SIZE,
+        "bare": bare,
+        "idle": idle,
+        "cpu_ratio": round(idle["cpu_s"] / bare["cpu_s"], 4)
+        if bare["cpu_s"] > 0 else 1.0,
+    }
+
+
+def test_resilience_zero_overhead():
+    """An attached-but-idle resilience layer is free.
+
+    Construction registers two counters and sets ``net.resilience`` —
+    zero events scheduled, zero per-chunk hooks — so the simulated event
+    count and the final simulated clock must be *bit-identical* to the
+    bare world, and the CPU cost within the noise band.  This is the gate
+    that keeps every pre-existing figure (none of which watch links)
+    byte-stable across the resilience PR.
+    """
+    report = measure_resilience_overhead()
+    bare, idle = report["bare"], report["idle"]
+    print()
+    print(f"  bare  {bare['cpu_s']:7.3f}s  {bare['events']:,} events  "
+          f"t={bare['time_ns']} ns")
+    print(f"  idle  {idle['cpu_s']:7.3f}s  {idle['events']:,} events  "
+          f"t={idle['time_ns']} ns  (cpu x{report['cpu_ratio']:.3f})")
+    assert idle["events"] == bare["events"], (
+        f"idle resilience changed the simulation itself "
+        f"({bare['events']:,} -> {idle['events']:,} events)"
+    )
+    assert idle["time_ns"] == bare["time_ns"], (
+        f"idle resilience moved the simulated clock "
+        f"({bare['time_ns']} -> {idle['time_ns']} ns)"
+    )
+    budget = (bare["cpu_s"] * RESILIENCE_OVERHEAD_MAX_RATIO
+              + RESILIENCE_CPU_EPSILON_S)
+    assert idle["cpu_s"] <= budget, (
+        f"idle resilience costs CPU time ({bare['cpu_s']:.3f}s -> "
+        f"{idle['cpu_s']:.3f}s, budget {budget:.3f}s)"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -508,6 +631,9 @@ def test_simspeed_quick_suite():
     fab = report["fabric_microbench"]
     print(f"  fabric allreduce {fab['hosts']}h  {fab['events']:,} events, "
           f"{fab['events_per_s']:,} ev/s")
+    soak = report["fabric_soak_microbench"]
+    print(f"  fabric soak {soak['soak']} {soak['hosts']}h  "
+          f"{soak['events']:,} events, {soak['events_per_s']:,} ev/s")
     print(f"  [wrote {OUTPUT}]")
     assert report["speedup_total"] >= MIN_SPEEDUP, (
         f"quick suite speedup x{report['speedup_total']} is below the "
@@ -535,9 +661,16 @@ def test_simspeed_quick_suite():
         f"{MIN_FABRIC_EVENTS_PER_SECOND:,} floor (fabric scaling "
         "regression?)"
     )
+    soak_rate = report["fabric_soak_microbench"]["events_per_s"]
+    assert soak_rate >= MIN_FABRIC_SOAK_EVENTS_PER_SECOND, (
+        f"fabric soak microbench: {soak_rate:,} events/s is below the "
+        f"{MIN_FABRIC_SOAK_EVENTS_PER_SECOND:,} floor (chaos-path "
+        "regression: retries/reroutes/health sampling gone superlinear?)"
+    )
 
 
 if __name__ == "__main__":
     test_simspeed_quick_suite()
+    test_resilience_zero_overhead()
     test_obs_zero_overhead()
     test_tiebreak_zero_overhead()

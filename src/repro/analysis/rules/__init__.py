@@ -9,6 +9,7 @@ below.
 from repro.analysis.rules import (
     det002,
     dma001,
+    fab001,
     gen001,
     hlt001,
     off001,
@@ -20,4 +21,4 @@ from repro.analysis.rules import (
 )
 
 __all__ = ["skb001", "dma001", "sim001", "unit001", "gen001", "hlt001",
-           "race001", "det002", "ord001", "off001"]
+           "race001", "det002", "ord001", "off001", "fab001"]

@@ -1,0 +1,94 @@
+"""FAB001: fabric route/link state mutated outside the resilience stack.
+
+The fabric's determinism story (DESIGN.md §17) hangs on one invariant:
+every change to the live-link set, the ECMP demotion set, or a port's
+gray-degrade state flows through exactly three layers —
+
+* :mod:`repro.fabric.routing` owns the versioned tables (every mutation
+  bumps the version and drops the cache, so reroutes are a pure function
+  of the live-link set);
+* :mod:`repro.fabric.resilience` is the only writer of *demotions*
+  (the breaker hysteresis is what guarantees demotion never partitions
+  and flapping trunks settle instead of thrashing);
+* :mod:`repro.faults.injectors` is the only place fault *plans* arm
+  kills, flaps, degrades — so a fault schedule stays serializable,
+  seeded, and replayable.
+
+A ``routes.demote_link(...)`` call from a workload, or a port's
+``service_scale`` poked from a test helper, silently breaks all three:
+the route version desyncs from the mutation, the breaker's suppressed-
+flap accounting lies, and the run is no longer reproducible from its
+plan.  This rule flags the two shapes:
+
+* calls to ``demote_link`` / ``restore_link`` / ``kill_link`` /
+  ``revive_link`` / ``degrade_link`` (the route/link mutation surface);
+* assignments to ``.service_scale`` / ``.extra_delay`` (a port's
+  gray-degrade state).
+
+Sanctioned homes — the three layers above, plus
+:mod:`repro.fabric.network` itself (it owns the ports and schedules the
+timed kill/degrade legs the injectors arm) — are skipped by path;
+anywhere else, suppress a deliberate exception with ``# noqa: FAB001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleSource, Rule, register_rule
+
+#: module paths allowed to touch the routing/link surface directly
+#: (substring match on the /-normalized path)
+_SANCTIONED = (
+    "repro/fabric/routing.py",
+    "repro/fabric/resilience.py",
+    "repro/fabric/network.py",
+    "repro/faults/injectors.py",
+)
+
+#: the route/link mutation calls
+_MUTATORS = ("demote_link", "restore_link", "kill_link", "revive_link",
+             "degrade_link")
+
+#: per-port gray-degrade attributes
+_PORT_STATE = ("service_scale", "extra_delay")
+
+
+@register_rule
+class FabricRouteMutationRule(Rule):
+    code = "FAB001"
+    summary = "fabric route/link state mutated outside the resilience stack"
+
+    def check(self, module: ModuleSource,
+              project=None) -> Iterator[Finding]:
+        norm = module.path.replace("\\", "/")
+        if any(part in norm for part in _SANCTIONED):
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS):
+                yield module.finding(
+                    self.code, node,
+                    f"direct '{node.func.attr}()' call mutates fabric "
+                    f"route/link state: arm a FaultPlan through "
+                    f"repro.faults (kills, flaps, degrades) or let the "
+                    f"health breaker (repro.fabric.resilience) drive "
+                    f"demotions, so the schedule stays seeded and "
+                    f"replayable",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and target.attr in _PORT_STATE):
+                        yield module.finding(
+                            self.code, target,
+                            f"direct '.{target.attr}' write bypasses the "
+                            f"fabric degrade surface: use "
+                            f"FabricNetwork.degrade_link (or a FaultPlan "
+                            f"degrade axis) so the health estimator and "
+                            f"the route version see the change",
+                        )

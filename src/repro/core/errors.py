@@ -90,6 +90,33 @@ class FabricPartitioned(TransferError):
         super().__init__(msg)
 
 
+class RankDead(TransferError):
+    """A fabric rank crash-stopped and took this operation with it.
+
+    Declared by the fabric liveness layer
+    (:class:`repro.fabric.resilience.FabricLivenessMonitor`) a short grace
+    window after a :class:`~repro.fabric.mpi.FabricRank` is killed: every
+    request the survivors still have pending against the current collective
+    epoch fails with this error, deterministically and all at once, so the
+    abort drains instead of livelocking.  Collective-level recovery (the
+    shrink-and-retry ring in :mod:`repro.fabric.resilience`) catches it;
+    everything else surfaces it — "abort and report" is the default.
+    """
+
+    def __init__(self, rank: int, host: str = "", at: int = 0,
+                 detail: str = ""):
+        self.rank = rank
+        self.host = host
+        self.at = at
+        msg = f"rank {rank}"
+        if host:
+            msg += f" ({host})"
+        msg += f" crash-stopped at t={at}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 class PeerDead(TransferError):
     """Sustained silence from a peer beyond the liveness deadline.
 

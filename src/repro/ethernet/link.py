@@ -260,6 +260,7 @@ class Link:
 
     def __init__(self, sim: "Simulator", bw: float, propagation_delay: int, name: str = "link"):
         self.sim = sim
+        self.name = name
         self.bw = bw
         self.a_to_b = _Direction(sim, bw, propagation_delay, f"{name}.a2b")
         self.b_to_a = _Direction(sim, bw, propagation_delay, f"{name}.b2a")

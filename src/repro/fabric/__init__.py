@@ -42,7 +42,16 @@ from repro.fabric.spec import (
 )
 from repro.fabric.network import FabricNetwork
 from repro.fabric.mpi import FabricWorld, launch_fabric_world
-from repro.fabric.sweep import run_fabric_collective
+from repro.fabric.resilience import (
+    FabricLivenessMonitor,
+    FabricResilience,
+    LinkHealth,
+    ResilienceParams,
+    resilient_allreduce,
+    survivor_ring_allreduce,
+    trunk_health_snapshot,
+)
+from repro.fabric.sweep import chaos_campaign, run_fabric_collective
 
 __all__ = [
     "LinkSpec",
@@ -54,6 +63,14 @@ __all__ = [
     "star_topology",
     "FabricNetwork",
     "FabricWorld",
+    "FabricLivenessMonitor",
+    "FabricResilience",
+    "LinkHealth",
+    "ResilienceParams",
+    "chaos_campaign",
     "launch_fabric_world",
+    "resilient_allreduce",
     "run_fabric_collective",
+    "survivor_ring_allreduce",
+    "trunk_health_snapshot",
 ]

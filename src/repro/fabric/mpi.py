@@ -21,6 +21,18 @@ an armed fault) fails both sides' requests with the network's typed error
 (:class:`~repro.core.errors.FabricPartitioned` /
 :class:`~repro.core.errors.DeliveryFailed`); the error is thrown into the
 waiting rank process and surfaces out of :meth:`FabricWorld.run_spmd`.
+
+Crash-stop rank death (DESIGN.md §17): :meth:`FabricWorld.kill_rank`
+interrupts the victim's process (the supervisor wrapper swallows exactly
+that interrupt, so the rank vanishes instead of failing the SPMD join)
+and marks its host dead in the network so in-flight chunks drain.  A
+grace window later the liveness monitor *declares* the death: the current
+collective epoch is poisoned, every pending posted request fails with the
+typed :class:`~repro.core.errors.RankDead` all at once, and any further
+send/receive in the poisoned epoch fails immediately — survivors always
+unwind, never livelock.  Recovery (:meth:`FabricWorld.join_recovery`)
+advances the epoch; stale epoch-N traffic still in flight is dropped by
+timestamp at completion, keeping :meth:`finish` sanitizer-clean.
 """
 
 from __future__ import annotations
@@ -30,13 +42,19 @@ from typing import Callable, Generator, Optional
 
 import numpy as np
 
+from repro.core.errors import RankDead
 from repro.fabric.cost import DEFAULT_CELL
 from repro.fabric.network import FabricNetwork, _Message
 from repro.fabric.spec import TopologySpec
 from repro.obs.registry import MetricsRegistry
 from repro.params import Platform
 from repro.simkernel import Simulator
+from repro.simkernel.errors import Interrupted
 from repro.simkernel.event import AllOf, Event
+
+#: interrupt cause marking a simulated crash-stop (the supervisor wrapper
+#: in :meth:`FabricWorld.run_spmd` swallows exactly this cause)
+CRASH_STOP = "fabric-crash-stop"
 
 
 class _PhantomRegion:
@@ -116,7 +134,7 @@ class FabricRank:
     """One rank of a fabric world (duck-typed ``repro.mpi.comm.Rank``)."""
 
     __slots__ = ("world", "rank", "host", "core", "space",
-                 "_coll_seq", "_scratch")
+                 "_coll_seq", "_scratch", "_imb_bufs")
 
     def __init__(self, world: "FabricWorld", rank: int, host: str):
         self.world = world
@@ -138,6 +156,14 @@ class FabricRank:
     def isend(self, dest: int, region, offset: int = 0,
               length: Optional[int] = None, tag: int = 0) -> Generator:
         world = self.world
+        if world._poisoned or dest in world.dead:
+            # Poisoned epoch (or a declared-dead peer): fail locally, with
+            # no message entering the network — every epoch-N message then
+            # has t_start <= the declaration time, which is what makes the
+            # stale-drop rule in _on_msg_complete airtight.
+            req = _FabricReq()
+            world._complete(req, world._rank_dead_error("send refused"))
+            return req
         n = (len(region) - offset) if length is None else length
         yield from self.core.execute(world.cost.send_cpu(n), "fabric_send")
         req = _FabricReq()
@@ -156,6 +182,9 @@ class FabricRank:
               length: Optional[int] = None, tag: int = 0) -> Generator:
         world = self.world
         req = _FabricReq()
+        if world._poisoned or source in world.dead:
+            world._complete(req, world._rank_dead_error("receive refused"))
+            return req
         key = (self.rank, source, tag)
         q = world._arrived.get(key)
         if q:
@@ -264,6 +293,21 @@ class FabricWorld:
         self._arrived: dict[tuple, deque] = {}
         self.ranks = [FabricRank(self, i, h) for i, h in enumerate(self.hosts)]
         self.net.on_complete = self._on_msg_complete
+        # -- crash-stop state (DESIGN.md §17) --
+        #: declared-dead rank ids
+        self.dead: set[int] = set()
+        #: collective epoch; advanced by the recovery barrier after a death
+        self.epoch = 0
+        #: stale epoch-N messages dropped after a declaration
+        self.stale_drained = 0
+        self._poisoned = False
+        self._declare_time: Optional[int] = None
+        self._kill_time: Optional[int] = None
+        self._last_dead: Optional[tuple[int, str, int]] = None
+        #: the rank liveness monitor (created lazily on the first kill;
+        #: install one up front to customize grace/tracing)
+        self.liveness = None
+        self._procs: dict[int, object] = {}
 
     @property
     def size(self) -> int:
@@ -301,16 +345,134 @@ class FabricWorld:
                 del self._posted[key]
             req.msg = msg
             self._complete(req, msg.error)
+            return
+        if (self._declare_time is not None
+                and msg.t_start <= self._declare_time):
+            # Epoch-stale: started before the latest death declaration, so
+            # its receive (if any) was failed by the declaration wave.
+            # Poisoned sends never enter the network, so this timestamp
+            # test is exact — epoch N+1 traffic always starts later.
+            self.stale_drained += 1
+            return
+        self._arrived.setdefault(key, deque()).append(msg)
+
+    # -- crash-stop rank death ---------------------------------------------
+
+    def _rank_dead_error(self, detail: str = "") -> RankDead:
+        rank, host, at = (self._last_dead if self._last_dead is not None
+                          else (-1, "", self.sim.now))
+        return RankDead(rank, host=host, at=at, detail=detail)
+
+    def survivors(self) -> list[int]:
+        """Sorted rank ids not declared dead."""
+        return [i for i in range(self.size) if i not in self.dead]
+
+    def kill_rank(self, rank: int, at: Optional[int] = None) -> None:
+        """Crash-stop a rank, now or at absolute time ``at``.
+
+        The victim's process is interrupted (it vanishes without failing
+        the SPMD join), its host is marked dead in the network so
+        in-flight chunks drain with :class:`RankDead`, and the liveness
+        monitor schedules the declaration wave a grace window later.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"no rank {rank} in a {self.size}-rank world")
+        if at is not None and at > self.sim.now:
+            self.sim.call_at(at, self._kill_rank_now, rank)
         else:
-            self._arrived.setdefault(key, deque()).append(msg)
+            self._kill_rank_now(rank)
+
+    def _kill_rank_now(self, rank: int) -> None:
+        if rank in self.dead:
+            return
+        if self.liveness is None:
+            from repro.fabric.resilience import FabricLivenessMonitor
+
+            self.liveness = FabricLivenessMonitor(self)
+        r = self.ranks[rank]
+        self.dead.add(rank)
+        self._kill_time = self.sim.now
+        self._last_dead = (rank, r.host, self.sim.now)
+        self.net.mark_host_dead(r.host, rank)
+        proc = self._procs.get(rank)
+        if proc is not None and proc.is_alive:
+            proc.interrupt(CRASH_STOP)
+        self.liveness.rank_killed(rank, r.host)
+
+    def _declare_rank_dead(self, rank: int, host: str) -> int:
+        """The declaration wave: poison the epoch, fail everything pending.
+
+        Every posted receive of every surviving rank fails with
+        :class:`RankDead` — all at once, in sorted key order — so each
+        blocked survivor unwinds deterministically.  The dead rank's own
+        receives are dropped without touching their events (its process is
+        gone; resuming it would be a kernel error).  Returns the number of
+        survivor requests failed.
+        """
+        at = self._kill_time if self._kill_time is not None else self.sim.now
+        self._poisoned = True
+        self._declare_time = self.sim.now
+        failed = 0
+        for key in sorted(self._posted):
+            for req in self._posted[key]:
+                if key[0] in self.dead:
+                    req.done = True
+                    req.error = self._rank_dead_error("owner crashed")
+                    self.stale_drained += 1
+                else:
+                    self._complete(req, RankDead(
+                        rank, host=host, at=at,
+                        detail="pending receive at declaration"))
+                    failed += 1
+        self._posted.clear()
+        # Receive-side traffic that already arrived dies with the epoch.
+        for key in sorted(self._arrived):
+            self.stale_drained += len(self._arrived[key])
+        self._arrived.clear()
+        return failed
+
+    def join_recovery(self, rank: FabricRank) -> Generator:
+        """Per-rank recovery barrier after a :class:`RankDead`.
+
+        Each survivor sleeps past the declaration wave plus one grace
+        window, then the first waker lifts the poison and advances the
+        epoch (idempotent).  Per-rank ordering is all the epoch-scoped
+        tags need — survivors may enter the new epoch at different times.
+        """
+        grace = (self.liveness.grace if self.liveness is not None else 0)
+        kill = self._kill_time if self._kill_time is not None else self.sim.now
+        target = kill + 2 * grace + 1
+        while self.sim.now < target:
+            yield int(target - self.sim.now)
+        if self._poisoned:
+            self._poisoned = False
+            self.epoch += 1
+        return None
 
     # -- running -----------------------------------------------------------
+
+    def _supervised(self, body: Callable[[FabricRank], Generator],
+                    rank: FabricRank) -> Generator:
+        """Run ``body(rank)``, swallowing exactly the crash-stop interrupt
+        (a killed rank vanishes; any other interrupt is somebody's bug)."""
+        try:
+            yield from body(rank)
+        except Interrupted as exc:
+            if exc.cause is not CRASH_STOP:
+                raise
+        return None
 
     def run_spmd(self, body: Callable[[FabricRank], Generator],
                  max_events: Optional[int] = None) -> list:
         """Run ``body(rank)`` on every rank; block until all complete."""
-        procs = [self.sim.process(body(r), name=f"frank{r.rank}")
-                 for r in self.ranks]
+        procs = []
+        for r in self.ranks:
+            if r.rank in self.dead:
+                continue
+            proc = self.sim.process(self._supervised(body, r),
+                                    name=f"frank{r.rank}")
+            self._procs[r.rank] = proc
+            procs.append(proc)
         all_done = AllOf(self.sim, procs)
         return self.sim.run_until(all_done, max_events=max_events)
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.errors import DeliveryFailed, FabricPartitioned
+from repro.core.errors import DeliveryFailed, FabricPartitioned, RankDead
 from repro.fabric.cost import DEFAULT_CELL, CostTable, cost_table
 from repro.fabric.routing import RouteTables
 from repro.fabric.spec import LinkSpec, TopologySpec
@@ -85,7 +85,8 @@ class _Message:
 class _Chunk:
     """One cell of a message walking the fabric."""
 
-    __slots__ = ("msg", "size", "idx", "hop", "path", "key", "txed")
+    __slots__ = ("msg", "size", "idx", "hop", "path", "key", "txed",
+                 "retries")
 
     def __init__(self, msg: _Message, size: int, idx: int):
         self.msg = msg
@@ -98,6 +99,8 @@ class _Chunk:
         self.key = msg.key + (idx,)
         #: has this chunk cleared the source NIC yet?
         self.txed = False
+        #: lossy-link retries burned so far (resilience-managed)
+        self.retries = 0
 
 
 class FabricPort:
@@ -111,7 +114,8 @@ class FabricPort:
     __slots__ = ("net", "sim", "name", "owner", "service", "handler",
                  "delay", "pending", "free_at", "alive", "limit_ns",
                  "fault", "enqueued", "admitted", "dropped", "rerouted",
-                 "peak_backlog_ns", "busy_ticks", "_arb_at")
+                 "peak_backlog_ns", "busy_ticks", "_arb_at",
+                 "service_scale", "extra_delay")
 
     def __init__(self, net: "FabricNetwork", name: str, owner: Optional[str],
                  service: Callable[[_Chunk], int],
@@ -140,6 +144,10 @@ class FabricPort:
         self.peak_backlog_ns = 0
         self.busy_ticks = 0
         self._arb_at = -1
+        #: gray-failure degrade state: service-time multiplier (1.0 when
+        #: healthy) and extra per-hop propagation delay (0 when healthy)
+        self.service_scale = 1.0
+        self.extra_delay = 0
 
     # -- ingress -----------------------------------------------------------
 
@@ -174,26 +182,37 @@ class FabricPort:
                     self.net._reroute(chunk, self.owner, self.name)
         else:
             call_at = self.sim.call_at
+            dead = self.net._dead_hosts
             for ready, _key, chunk in batch:
-                if chunk.msg.failed:
+                msg = chunk.msg
+                if msg.failed:
+                    continue
+                if dead and (msg.src in dead or msg.dst in dead):
+                    self.net._crash_fail(msg, self.name)
                     continue
                 start = self.free_at if self.free_at > ready else ready
                 wait = start - now
                 if wait > self.peak_backlog_ns:
                     self.peak_backlog_ns = wait
-                if (self.limit_ns is not None and wait > self.limit_ns) or (
-                        self.fault is not None and self.fault(chunk, now)):
+                if self.limit_ns is not None and wait > self.limit_ns:
                     self.dropped += 1
                     self.net._drop(chunk, self.name)
+                    continue
+                if self.fault is not None and self.fault(chunk, now):
+                    self.dropped += 1
+                    self.net._chunk_lost(chunk, self)
                     continue
                 ticks = self.service(chunk)
                 if ticks < 1:
                     ticks = 1
+                if self.service_scale != 1.0:
+                    ticks = int(ticks * self.service_scale)
                 finish = start + ticks
                 self.free_at = finish
                 self.busy_ticks += ticks
                 self.admitted += 1
-                call_at(finish + self.delay, self.handler, chunk)
+                call_at(finish + self.delay + self.extra_delay,
+                        self.handler, chunk)
         if rest and self._arb_at <= now:
             self._arb_at = now + 1
             self.sim.call_at(self._arb_at, self._arbitrate)
@@ -268,6 +287,14 @@ class FabricNetwork:
         self.chunks_forwarded = 0
         self.chunks_dropped = 0
         self.chunks_rerouted = 0
+        self.chunks_retried = 0
+        #: resilience layer attachment (set by FabricResilience.attach);
+        #: None = losses are fatal, exactly the pre-resilience behavior
+        self.resilience = None
+        #: crash-stopped hosts (fed by the MPI layer's rank-kill axis)
+        self._dead_hosts: set[str] = set()
+        self._dead_rank_of: dict[str, int] = {}
+        self._death_at: dict[str, int] = {}
         #: aggregate simulated CPU/DMA ticks spent in the fabric data plane
         self.cpu_ticks = {"fabric_send": 0, "fabric_rx": 0, "fabric_dma": 0}
         #: delivery/failure callback installed by the MPI layer
@@ -279,6 +306,7 @@ class FabricNetwork:
         m.counter("fabric", "fabric_chunks_forwarded", lambda: self.chunks_forwarded)
         m.counter("fabric", "fabric_chunks_dropped", lambda: self.chunks_dropped)
         m.counter("fabric", "fabric_chunks_rerouted", lambda: self.chunks_rerouted)
+        m.counter("fabric", "fabric_chunks_retried", lambda: self.chunks_retried)
         self.sim.add_teardown_check(self._check_quiesced)
 
     @staticmethod
@@ -418,6 +446,10 @@ class FabricNetwork:
         msg = chunk.msg
         if msg.failed:
             return
+        if self._dead_hosts and (msg.src in self._dead_hosts
+                                 or msg.dst in self._dead_hosts):
+            self._crash_fail(msg, "wire")
+            return
         if not chunk.txed:
             # first arrival off the source NIC: the send buffer is free
             chunk.txed = True
@@ -501,6 +533,50 @@ class FabricNetwork:
         if self.on_complete is not None:
             self.on_complete(msg)
 
+    def _crash_fail(self, msg: _Message, where: str) -> None:
+        """Fail an in-flight message touching a crash-stopped host."""
+        host = msg.dst if msg.dst in self._dead_hosts else msg.src
+        self._fail(msg, RankDead(
+            self._dead_rank_of.get(host, -1), host=host,
+            at=self._death_at.get(host, self.sim.now),
+            detail=f"in-flight chunk drained at {where}"))
+
+    def _chunk_lost(self, chunk: _Chunk, port: FabricPort) -> None:
+        """A fault hook ate a chunk at ``port``.
+
+        Without a resilience layer the loss is fatal — same as a queue
+        overflow, there is no retransmit layer to hide behind.  With one
+        attached, the chunk retries: host-owned ports re-serialize (the
+        link-level retransmit model), switch ports restart the walk with a
+        retry-salted ECMP draw so a gray link sheds load — up to the
+        resilience retry cap, then the loss is fatal after all.  Each retry
+        is a fresh arbiter event, so a 100%-lossy link burns its cap in a
+        bounded number of events and can never livelock.
+        """
+        res = self.resilience
+        if res is None or chunk.retries >= res.params.max_chunk_retries:
+            self._drop(chunk, port.name)
+            return
+        chunk.retries += 1
+        self.chunks_retried += 1
+        if port.owner is None:
+            port.enqueue(chunk)
+            return
+        msg = chunk.msg
+        dst_edge = self.routes.edge_of[msg.dst]
+        flow = (f"{msg.flow}/r{self.routes.version}"
+                f"/c{chunk.idx}/t{chunk.retries}")
+        path = self.routes.path(port.owner, dst_edge, flow)
+        if path is None:
+            self._fail(msg, FabricPartitioned(
+                msg.src, msg.dst, msg.tag, where=port.owner,
+                detail="no path for lossy retry"))
+            return
+        self.chunks_rerouted += 1
+        chunk.path = path
+        chunk.hop = 0
+        self._forward(chunk)
+
     # -- fault surface -------------------------------------------------------
 
     def kill_link(self, name: str, at: Optional[int] = None) -> None:
@@ -535,6 +611,52 @@ class FabricNetwork:
             self.routes.revive_link(a, b)
         for port in self._ports_of_link(a, b):
             port.alive = True
+
+    def degrade_link(self, name: str, bw_factor: float = 0.25,
+                     extra_latency: int = 0, at: Optional[int] = None,
+                     until: Optional[int] = None) -> None:
+        """Gray-degrade the named link: scale its serialization time by
+        ``1/bw_factor`` and add ``extra_latency`` per hop, on both
+        directions, from ``at`` until ``until`` (None = rest of run).
+
+        Unlike a kill this changes no routing state — the link stays live
+        and forwarding; only the health layer can decide to route around
+        it.  When idle the degrade is pure state (no extra events), which
+        is what keeps the resilience-idle event counts bit-identical.
+        """
+        link = self.spec.link_named(name)
+        scale = 1.0 / bw_factor
+        if at is not None and at > self.sim.now:
+            self.sim.call_at(at, self._set_link_degrade, link, scale,
+                             extra_latency)
+        else:
+            self._set_link_degrade(link, scale, extra_latency)
+        if until is not None:
+            self.sim.call_at(until, self._set_link_degrade, link, 1.0, 0)
+
+    def _set_link_degrade(self, link: LinkSpec, scale: float,
+                          extra: int) -> None:
+        for port in self._ports_of_link(link.a, link.b):
+            port.service_scale = scale
+            port.extra_delay = extra
+
+    def ports_of_link(self, name: str) -> list[FabricPort]:
+        """Both directions' egress ports of the named link.
+
+        Public so the fault injectors can hang lossy hooks here and the
+        health estimator can sample per-direction counters.
+        """
+        link = self.spec.link_named(name)
+        return self._ports_of_link(link.a, link.b)
+
+    def mark_host_dead(self, host: str, rank: int) -> None:
+        """Crash-stop a host: every in-flight chunk touching it fails with
+        :class:`RankDead` at its next port event, draining the queues
+        without ever livelocking (each pending chunk already has an
+        arbiter or handler event scheduled)."""
+        self._dead_hosts.add(host)
+        self._dead_rank_of[host] = rank
+        self._death_at[host] = self.sim.now
 
     def _ports_of_link(self, a: str, b: str) -> list[FabricPort]:
         """Both directions' egress ports of one cable (built if absent)."""

@@ -1,0 +1,557 @@
+"""Gray-failure resilience: link health, hysteretic rerouting, rank death.
+
+Datacenter fabrics rarely fail cleanly.  The dominant real-world modes are
+*gray*: a trunk renegotiates to a quarter of its rate, a flaky transceiver
+flaps up and down, a marginal cable eats one chunk in twenty, a whole host
+crash-stops mid-collective.  PR 9's fabric only understood the binary kill
+(reroute or partition); this layer adds the machinery that keeps a fabric
+world delivering degraded-but-correct service through the gray zone:
+
+* :class:`LinkHealthEstimator` — scores each watched link HEALTHY /
+  DEGRADED / DEAD from the per-port forwarded/dropped/occupancy counters
+  the ports already maintain, sampled on seeded-deterministic windows (a
+  per-link phase drawn from the resilience seed, then a fixed cadence);
+* :class:`LinkBreaker` — trip/reopen hysteresis per trunk, reusing the
+  CLOSED/OPEN state-machine shape of
+  :class:`repro.health.breaker.ChannelBreaker`: ``trip_samples``
+  consecutive unhealthy windows demote the trunk out of the ECMP
+  candidate set (:meth:`repro.fabric.routing.RouteTables.demote_link`,
+  which guarantees demotion never partitions), and a demoted trunk must
+  stay down for ``hold_down`` ticks *and* look healthy for
+  ``reopen_samples`` consecutive windows before it is restored — so a
+  flapping trunk settles into one stable demoted state instead of
+  thrashing the route tables.  Every healthy-looking sample the hysteresis
+  refuses to act on increments ``fabric_route_flaps_suppressed``;
+* :class:`FabricLivenessMonitor` — the fabric-scale sibling of
+  :class:`repro.health.liveness.PeerLivenessMonitor`: when a rank
+  crash-stops, survivors' pending requests are failed *all at once* with
+  the typed :class:`~repro.core.errors.RankDead` after a grace window, so
+  the abort drains deterministically instead of livelocking;
+* :func:`resilient_allreduce` — collective-level recovery: abort-and-
+  report is the default everywhere, but a ring allreduce can opt into
+  shrink-and-retry, rebuilding the ring over the survivors
+  (:func:`survivor_ring_allreduce`) in a fresh, epoch-scoped tag
+  namespace.
+
+Zero-overhead contract: *attaching* a :class:`FabricResilience` creates no
+simulation events and touches no schedule — per-figure event counts stay
+bit-identical with resilience idle (``bench_simspeed.py`` gates this).
+Sampling daemons only start when a fault plan with gray axes is armed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Generator, Iterable, Optional
+
+from repro.core.errors import RankDead
+from repro.units import us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fabric.mpi import FabricRank, FabricWorld
+    from repro.fabric.network import FabricNetwork, FabricPort
+
+
+class LinkHealth(Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DEAD = "dead"
+
+
+#: severity order for "worst of both directions"
+_SEVERITY = {LinkHealth.HEALTHY: 0, LinkHealth.DEGRADED: 1, LinkHealth.DEAD: 2}
+
+
+@dataclass(frozen=True)
+class ResilienceParams:
+    """Tunables of the resilience layer (DESIGN.md §17).
+
+    The defaults are sized against the fabric cost model: a sampling
+    window of 20 us is ~3 chunk serializations on a degraded 2.5 Gb/s
+    trunk, so one window of traffic is enough signal to score it; the
+    hold-down of 400 us spans a whole default flap period, which is what
+    makes a flapping trunk converge to one stable demotion instead of
+    tracking the flap.
+    """
+
+    #: sampling cadence per watched link
+    window: int = us(20)
+    #: fraction of ``window`` the seeded per-link phase offset may span
+    phase_jitter: float = 0.5
+    #: dropped/enqueued delta ratio at/above which a window is DEGRADED
+    drop_threshold: float = 0.02
+    #: busy-tick occupancy above which a window is DEGRADED (a saturated
+    #: gray link serializes flat-out while its healthy siblings idle)
+    busy_threshold: float = 0.95
+    #: consecutive unhealthy windows before a trunk is demoted
+    trip_samples: int = 3
+    #: consecutive healthy windows before a demoted trunk may be restored
+    reopen_samples: int = 4
+    #: minimum ticks a demotion holds regardless of how healthy it looks
+    hold_down: int = us(400)
+    #: grace between a rank crash-stop and the RankDead declaration wave
+    rank_death_grace: int = us(30)
+    #: per-chunk retry budget on lossy links before the loss is fatal
+    max_chunk_retries: int = 10
+
+    def validate(self) -> None:
+        if self.window <= 0:
+            raise ValueError("resilience window must be positive")
+        if not 0 <= self.phase_jitter < 1:
+            raise ValueError("phase_jitter must be in [0, 1)")
+        if not 0 < self.drop_threshold <= 1:
+            raise ValueError("drop_threshold must be in (0, 1]")
+        if not 0 < self.busy_threshold <= 1:
+            raise ValueError("busy_threshold must be in (0, 1]")
+        if self.trip_samples < 1 or self.reopen_samples < 1:
+            raise ValueError("trip/reopen sample counts must be >= 1")
+        if self.hold_down < 0 or self.rank_death_grace < 0:
+            raise ValueError("hold_down/rank_death_grace must be >= 0")
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+
+
+class LinkHealthEstimator:
+    """Health of one link from its two egress ports' counter deltas.
+
+    Signals, worst-of-both-directions:
+
+    * a dead port (flap down-phase) is DEAD;
+    * a renegotiated rate or added PHY latency is DEGRADED — real switches
+      surface speed downshift in port status, so reading the degrade state
+      off the port is observation, not cheating;
+    * a window whose dropped/enqueued delta ratio crosses
+      ``drop_threshold`` is DEGRADED (lossy link);
+    * a window serialized busier than ``busy_threshold`` is DEGRADED (a
+      gray link running flat-out while siblings keep up).
+    """
+
+    __slots__ = ("name", "ports", "params", "state", "samples", "_last")
+
+    def __init__(self, name: str, ports: list["FabricPort"],
+                 params: ResilienceParams):
+        self.name = name
+        self.ports = ports
+        self.params = params
+        self.state = LinkHealth.HEALTHY
+        self.samples = 0
+        self._last = [(p.enqueued, p.dropped, p.busy_ticks) for p in ports]
+
+    def sample(self, window: int) -> LinkHealth:
+        worst = LinkHealth.HEALTHY
+        for i, port in enumerate(self.ports):
+            enq0, drop0, busy0 = self._last[i]
+            d_enq = port.enqueued - enq0
+            d_drop = port.dropped - drop0
+            d_busy = port.busy_ticks - busy0
+            self._last[i] = (port.enqueued, port.dropped, port.busy_ticks)
+            if not port.alive:
+                health = LinkHealth.DEAD
+            elif port.service_scale != 1.0 or port.extra_delay:
+                health = LinkHealth.DEGRADED
+            elif d_enq and d_drop / d_enq >= self.params.drop_threshold:
+                health = LinkHealth.DEGRADED
+            elif d_busy / window > self.params.busy_threshold:
+                health = LinkHealth.DEGRADED
+            else:
+                health = LinkHealth.HEALTHY
+            if _SEVERITY[health] > _SEVERITY[worst]:
+                worst = health
+        self.samples += 1
+        self.state = worst
+        return worst
+
+
+class LinkBreaker:
+    """Trip/reopen hysteresis for one trunk (the breaker shape, per link).
+
+    CLOSED: the trunk is a normal ECMP candidate; ``trip_samples``
+    consecutive unhealthy windows demote it and open the breaker.
+    OPEN: the trunk is demoted; it is restored only after ``hold_down``
+    ticks *and* ``reopen_samples`` consecutive healthy windows.  Healthy
+    windows the hysteresis refuses to act on are counted as suppressed
+    flaps — the whole point of the breaker is that a flapping trunk
+    produces a large suppressed count and zero route oscillation.
+    """
+
+    __slots__ = ("res", "name", "a", "b", "state", "tripped_at",
+                 "unhealthy_streak", "healthy_streak")
+
+    def __init__(self, res: "FabricResilience", name: str, a: str, b: str):
+        self.res = res
+        self.name = name
+        self.a = a
+        self.b = b
+        self.state = "closed"
+        self.tripped_at = -1
+        self.unhealthy_streak = 0
+        self.healthy_streak = 0
+
+    def on_sample(self, health: LinkHealth, now: int) -> None:
+        p = self.res.params
+        if self.state == "closed":
+            if health is LinkHealth.HEALTHY:
+                self.unhealthy_streak = 0
+                return
+            self.unhealthy_streak += 1
+            if self.unhealthy_streak >= p.trip_samples:
+                self._trip(now)
+        else:
+            if health is not LinkHealth.HEALTHY:
+                self.healthy_streak = 0
+                return
+            self.healthy_streak += 1
+            if (now - self.tripped_at < p.hold_down
+                    or self.healthy_streak < p.reopen_samples):
+                self.res.flaps_suppressed += 1
+                self.res._instant(self.name, "flap suppressed")
+            else:
+                self._reopen()
+
+    def _trip(self, now: int) -> None:
+        self.state = "open"
+        self.tripped_at = now
+        self.unhealthy_streak = 0
+        self.healthy_streak = 0
+        res = self.res
+        if res.net.routes.demote_link(self.a, self.b):
+            res.demotions += 1
+            res.reroutes += 1
+            res._instant(self.name, "demoted")
+
+    def _reopen(self) -> None:
+        self.state = "closed"
+        self.unhealthy_streak = 0
+        self.healthy_streak = 0
+        res = self.res
+        if res.net.routes.restore_link(self.a, self.b):
+            res.restorations += 1
+            res.reroutes += 1
+            res._instant(self.name, "restored")
+
+
+class FabricResilience:
+    """The attached resilience layer of one :class:`FabricNetwork`.
+
+    Construction is pure — counters registered, zero events scheduled —
+    so an idle attachment cannot perturb a figure.  :meth:`watch` starts
+    one seeded sampling daemon per named link; each self-terminates once
+    the watch horizon has passed and the network has quiesced.
+    """
+
+    def __init__(self, net: "FabricNetwork",
+                 params: Optional[ResilienceParams] = None,
+                 seed: str = "resilience", trace=None):
+        self.net = net
+        self.params = params if params is not None else ResilienceParams()
+        self.params.validate()
+        self.seed = seed
+        self.trace = trace
+        self.horizon = 0
+        self.reroutes = 0
+        self.flaps_suppressed = 0
+        self.demotions = 0
+        self.restorations = 0
+        self._estimators: dict[str, LinkHealthEstimator] = {}
+        self._breakers: dict[str, LinkBreaker] = {}
+        net.resilience = self
+        m = net.metrics
+        m.counter("fabric", "fabric_reroutes", lambda: self.reroutes,
+                  "health-driven route-table changes (demote + restore)")
+        m.counter("fabric", "fabric_route_flaps_suppressed",
+                  lambda: self.flaps_suppressed,
+                  "healthy-looking samples the hysteresis refused to act on")
+
+    # -- watching ----------------------------------------------------------
+
+    def watch(self, links: Iterable[str], horizon: int) -> None:
+        """Start health sampling over the named links until ``horizon``.
+
+        Idempotent per link.  The per-link phase offset is drawn from the
+        resilience seed, so two runs with the same seed sample — and
+        therefore demote, restore and suppress — at identical ticks.
+        """
+        if horizon > self.horizon:
+            self.horizon = horizon
+        net = self.net
+        hosts = set(net.spec.hosts)
+        for name in sorted(set(links)):
+            if name in self._estimators:
+                continue
+            link = net.spec.link_named(name)
+            est = LinkHealthEstimator(name, net.ports_of_link(name),
+                                      self.params)
+            self._estimators[name] = est
+            if link.a not in hosts and link.b not in hosts:
+                self._breakers[name] = LinkBreaker(self, name, link.a, link.b)
+            span = max(int(self.params.window * self.params.phase_jitter), 1)
+            rng = random.Random(f"{self.seed}:phase:{name}")
+            phase = 1 + rng.randrange(span)
+            net.sim.daemon(self._watch_link(name, est, phase),
+                           name=f"linkhealth:{name}")
+
+    def _watch_link(self, name: str, est: LinkHealthEstimator,
+                    phase: int) -> Generator:
+        yield phase
+        window = self.params.window
+        net = self.net
+        breaker = self._breakers.get(name)
+        while True:
+            yield window
+            health = est.sample(window)
+            if breaker is not None:
+                breaker.on_sample(health, net.sim.now)
+            open_msgs = (net.msgs_sent - net.msgs_delivered
+                         - net.msgs_failed)
+            if net.sim.now >= self.horizon and open_msgs == 0:
+                return
+
+    def _instant(self, link: str, label: str) -> None:
+        t = self.trace
+        if t is not None and t.enabled:
+            t.instant(f"link {link}", label, "health")
+
+    # -- observation -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-stable summary for campaign/soak reports."""
+        return {
+            "reroutes": self.reroutes,
+            "demotions": self.demotions,
+            "restorations": self.restorations,
+            "flaps_suppressed": self.flaps_suppressed,
+            "route_version": self.net.routes.version,
+            "links": {n: e.state.value
+                      for n, e in sorted(self._estimators.items())},
+            "samples": {n: e.samples
+                        for n, e in sorted(self._estimators.items())},
+            "demoted": sorted(n for n, b in self._breakers.items()
+                              if b.state == "open"),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Rank-level liveness (crash-stop declaration)
+# ---------------------------------------------------------------------------
+
+class FabricLivenessMonitor:
+    """Crash-stop rank liveness for one :class:`FabricWorld`.
+
+    The fabric-scale sibling of
+    :class:`repro.health.liveness.PeerLivenessMonitor`, with the same
+    contract — a death is *declared*, deterministically and all at once,
+    a grace window after the silence begins, and the declaration fails
+    every pending request so the survivors drain instead of livelocking.
+    Here the silence source is exact (the kill is simulated), so the
+    grace window models detection latency rather than a timeout scan.
+    """
+
+    def __init__(self, world: "FabricWorld",
+                 grace: int = ResilienceParams.rank_death_grace, trace=None):
+        self.world = world
+        self.grace = grace
+        self.trace = trace
+        self.deaths_declared = 0
+        self.reqs_failed = 0
+
+    def rank_killed(self, rank: int, host: str) -> None:
+        """Schedule the declaration wave ``grace`` ticks from now."""
+        sim = self.world.sim
+        sim.call_at(sim.now + self.grace, self._declare, rank, host)
+
+    def _declare(self, rank: int, host: str) -> None:
+        self.deaths_declared += 1
+        t = self.trace
+        if t is not None and t.enabled:
+            t.instant("fabric", f"rank {rank} ({host}) declared DEAD",
+                      "fault")
+        self.reqs_failed += self.world._declare_rank_dead(rank, host)
+
+    def snapshot(self) -> dict:
+        return {
+            "deaths_declared": self.deaths_declared,
+            "reqs_failed": self.reqs_failed,
+            "stale_drained": self.world.stale_drained,
+            "dead_ranks": sorted(self.world.dead),
+            "epoch": self.world.epoch,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Collective-level recovery: shrink-and-retry ring allreduce
+# ---------------------------------------------------------------------------
+
+#: epoch-scoped tag namespace for recovery collectives — disjoint from the
+#: normal collective namespace (0x4000_0000), so a stale epoch-0 message
+#: can never match an epoch-1 receive
+_RECOVERY_TAG_BASE = 0x50000000
+
+
+def _recovery_tag(rank: "FabricRank", epoch: int) -> int:
+    """A fresh 4096-tag window per call, epoch-scoped.
+
+    The per-rank collective sequence (the same counter the normal
+    collectives salt their tags with) keeps two successive shrunk
+    allreduces in one epoch on disjoint tags; survivors agree on the
+    counter because every rank makes the same collective calls in the
+    same order.
+    """
+    seq = getattr(rank, "_coll_seq", 0)
+    rank._coll_seq = seq + 1
+    return (_RECOVERY_TAG_BASE | ((epoch & 0xF) << 24)
+            | ((seq & 0xFFF) << 12))
+
+
+def survivor_ring_allreduce(rank: "FabricRank", buf, n: int,
+                            epoch: int) -> Generator:
+    """Ring allreduce over the world's survivors (the shrunk ring).
+
+    A faithful mirror of :func:`repro.mpi.collectives._allreduce_ring`
+    with the ring built over ``world.survivors()`` instead of
+    ``range(size)`` — same 4-byte-aligned block cuts, same reduce-scatter
+    + allgather step structure, but epoch-scoped tags so retries after a
+    second death cannot cross-match the first retry's stragglers.
+    ``buf`` must already be seeded with the local contribution.
+    """
+    from repro.mpi.collectives import _accumulate, _scratch
+
+    world = rank.world
+    members = world.survivors()
+    p = len(members)
+    me = members.index(rank.rank)
+    tag = _recovery_tag(rank, epoch)
+    if p == 1 or n == 0:
+        return None
+    base = (n // p) & ~3
+    sizes = [base] * (p - 1) + [n - base * (p - 1)]
+    displs = [base * i for i in range(p)]
+    right = members[(me + 1) % p]
+    left = members[(me - 1) % p]
+    tmp = _scratch(rank, "srr_tmp", sizes[p - 1])
+    for step in range(p - 1):
+        sb = (me - step) % p
+        rb = (me - step - 1) % p
+        sn, rn = sizes[sb], sizes[rb]
+        rreq = sreq = None
+        if rn:
+            rreq = yield from rank.irecv(left, tmp, 0, rn, tag + step)
+        if sn:
+            sreq = yield from rank.isend(right, buf, displs[sb], sn,
+                                         tag + step)
+        if sreq is not None:
+            yield from rank.wait(sreq)
+        if rreq is not None:
+            yield from rank.wait(rreq)
+        if rn:
+            yield from _accumulate(rank, buf, displs[rb], tmp, 0, rn)
+    for step in range(p - 1):
+        sb = (me + 1 - step) % p
+        rb = (me - step) % p
+        sn, rn = sizes[sb], sizes[rb]
+        rreq = sreq = None
+        if rn:
+            rreq = yield from rank.irecv(left, buf, displs[rb], rn,
+                                         tag + p + step)
+        if sn:
+            sreq = yield from rank.isend(right, buf, displs[sb], sn,
+                                         tag + p + step)
+        if sreq is not None:
+            yield from rank.wait(sreq)
+        if rreq is not None:
+            yield from rank.wait(rreq)
+    return None
+
+
+def resilient_allreduce(rank: "FabricRank", sendbuf, recvbuf,
+                        length=None, max_shrinks: int = 2) -> Generator:
+    """Ring allreduce that shrinks over survivors on rank death.
+
+    Runs the normal ring first; if a :class:`RankDead` surfaces, every
+    survivor joins the recovery barrier (sleeps past the declaration
+    wave, then the first waker advances the epoch and drains stale
+    traffic) and retries over the shrunk ring — up to ``max_shrinks``
+    deaths, after which the error propagates (abort-and-report).
+
+    Correctness needs only per-rank ordering, not simultaneity: a rank
+    may start epoch *e+1* sends while a peer is still unwinding epoch
+    *e*, because epoch-scoped tags keep the traffic disjoint and the
+    poison gate blocks any epoch-*e* send from entering the network
+    after the declaration wave.
+    """
+    world = rank.world
+    n = (len(sendbuf) if length is None else length)
+    if not world.dead:
+        try:
+            yield from rank.allreduce(sendbuf, recvbuf, length, algo="ring")
+            return None
+        except RankDead:
+            if max_shrinks < 1 or rank.rank in world.dead:
+                raise
+    # Already-shrunk world (a later round after a death): the full ring
+    # would deadlock — ranks far from the dead one would post receives
+    # their aborted neighbors never feed — so go straight to the survivor
+    # ring.  join_recovery is a no-op when the declaration is long past.
+    for attempt in range(max_shrinks):
+        yield from world.join_recovery(rank)
+        # Re-seed: partial accumulation from the failed epoch is garbage.
+        if n:
+            from repro.mpi.collectives import REDUCE_BW
+            from repro.units import SEC
+
+            yield from rank.core.execute(max(int(n * SEC / REDUCE_BW), 1),
+                                         "user")
+            recvbuf.read(0, n)[:] = sendbuf.read(0, n)
+        try:
+            yield from survivor_ring_allreduce(rank, recvbuf, n, world.epoch)
+            return None
+        except RankDead:
+            if attempt == max_shrinks - 1 or rank.rank in world.dead:
+                raise
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Full-hardware trunk health (EthernetSwitch path)
+# ---------------------------------------------------------------------------
+
+def trunk_health_snapshot(switches: dict,
+                          params: Optional[ResilienceParams] = None) -> dict:
+    """Score the full-hardware switches' trunk egress ports.
+
+    The hardware path has no resilience control loop (its reliability
+    story is the per-packet retransmit stack); this is the observation
+    half only — campaigns snapshot it at teardown to report which trunks
+    went gray.  Keyed ``"<switch>:p<port>"``, values are
+    :class:`LinkHealth` names.
+    """
+    p = params if params is not None else ResilienceParams()
+    out = {}
+    for name in sorted(switches):
+        sw = switches[name]
+        for i, link in enumerate(sw.links):
+            if link is None or not link.name.startswith("trunk-"):
+                continue
+            fwd = sw.port_forwarded[i]
+            drp = sw.port_dropped[i]
+            total = fwd + drp
+            if total and drp / total >= p.drop_threshold:
+                health = LinkHealth.DEGRADED
+            else:
+                health = LinkHealth.HEALTHY
+            out[f"{name}:p{i}"] = health.value
+    return out
+
+
+__all__ = [
+    "FabricLivenessMonitor",
+    "FabricResilience",
+    "LinkBreaker",
+    "LinkHealth",
+    "LinkHealthEstimator",
+    "ResilienceParams",
+    "resilient_allreduce",
+    "survivor_ring_allreduce",
+    "trunk_health_snapshot",
+]

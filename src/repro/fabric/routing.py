@@ -28,6 +28,10 @@ from typing import Optional
 from repro.fabric.spec import TopologySpec
 
 
+#: shared empty avoid-set for the no-demotion BFS (avoids a per-call alloc)
+_NO_AVOID: frozenset = frozenset()
+
+
 def ecmp_pick(seed: str, flow: str, where: str, n: int) -> int:
     """Deterministic index in ``[0, n)`` for one path choice."""
     if n <= 1:
@@ -52,6 +56,9 @@ class RouteTables:
         self._adj: dict[str, list[str]] = {s: [] for s in spec.switch_names()}
         #: canonical (min, max) name pair -> live?
         self._live: dict[tuple[str, str], bool] = {}
+        #: trunks the health layer demoted out of the ECMP candidate set;
+        #: advisory — see :meth:`table_for` for the no-partition guarantee
+        self._demoted: set[tuple[str, str]] = set()
         for l in spec.links:
             if l.a in hosts or l.b in hosts:
                 continue
@@ -101,25 +108,50 @@ class RouteTables:
             self.version += 1
             self._tables.clear()
 
+    # -- health demotion ---------------------------------------------------
+
+    def is_demoted(self, a: str, b: str) -> bool:
+        return self._key(a, b) in self._demoted
+
+    def demote_link(self, a: str, b: str) -> bool:
+        """Drop a trunk from the ECMP candidate set; returns True if it
+        was not already demoted.  The link stays *live* — a demotion is a
+        routing preference, not a kill — and :meth:`table_for` quietly
+        ignores demotions for any destination they would disconnect."""
+        key = self._key(a, b)
+        if key not in self._live:
+            raise KeyError(f"no trunk link {a}~{b} in {self.spec.name}")
+        if key in self._demoted:
+            return False
+        self._demoted.add(key)
+        self.version += 1
+        self._tables.clear()
+        return True
+
+    def restore_link(self, a: str, b: str) -> bool:
+        """Re-admit a demoted trunk; returns True if it was demoted."""
+        key = self._key(a, b)
+        if key not in self._live:
+            raise KeyError(f"no trunk link {a}~{b} in {self.spec.name}")
+        if key not in self._demoted:
+            return False
+        self._demoted.discard(key)
+        self.version += 1
+        self._tables.clear()
+        return True
+
     # -- tables ------------------------------------------------------------
 
-    def table_for(self, dst_edge: str) -> dict[str, list[str]]:
-        """``{switch: sorted equal-cost next hops toward dst_edge}``.
-
-        Switches with no live path to ``dst_edge`` are absent from the
-        table.  Computed by reverse BFS from the destination edge over
-        live links only (unit link cost).
-        """
-        table = self._tables.get(dst_edge)
-        if table is not None:
-            return table
+    def _bfs_table(self, dst_edge: str, avoid: set) -> dict[str, list[str]]:
+        """Reverse BFS from ``dst_edge`` over live links not in ``avoid``."""
         dist: dict[str, int] = {dst_edge: 0}
         frontier = [dst_edge]
         while frontier:
             nxt = []
             for sw in frontier:  # frontier built sorted; stays deterministic
                 for peer in self._adj[sw]:
-                    if not self._live[self._key(sw, peer)]:
+                    key = self._key(sw, peer)
+                    if not self._live[key] or key in avoid:
                         continue
                     if peer not in dist:
                         dist[peer] = dist[sw] + 1
@@ -133,8 +165,32 @@ class RouteTables:
                 continue
             hops = [peer for peer in self._adj[sw]
                     if self._live[self._key(sw, peer)]
+                    and self._key(sw, peer) not in avoid
                     and dist.get(peer, -1) == d - 1]
             table[sw] = hops  # _adj is sorted, so hops is sorted
+        return table
+
+    def table_for(self, dst_edge: str) -> dict[str, list[str]]:
+        """``{switch: sorted equal-cost next hops toward dst_edge}``.
+
+        Switches with no live path to ``dst_edge`` are absent from the
+        table.  Computed by reverse BFS from the destination edge over
+        live links only (unit link cost).
+
+        Demoted trunks are excluded from the BFS *unless* that exclusion
+        would disconnect a switch the live graph still reaches: demotion
+        must never partition, and next-hop rows from two different BFS
+        metrics must never mix (mixing can loop), so the fallback is
+        all-or-nothing per destination.
+        """
+        table = self._tables.get(dst_edge)
+        if table is not None:
+            return table
+        table = self._bfs_table(dst_edge, _NO_AVOID)
+        if self._demoted:
+            preferred = self._bfs_table(dst_edge, self._demoted)
+            if len(preferred) == len(table):
+                table = preferred
         self._tables[dst_edge] = table
         return table
 

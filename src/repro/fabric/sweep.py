@@ -15,7 +15,12 @@ Three entry points:
   kinds in :mod:`repro.reporting.sweeps`;
 * :func:`fabric_scenario` — the ``--races`` corpus entry: the same cell
   packaged as a zero-arg callable returning an
-  :class:`~repro.analysis.races.Observation`.
+  :class:`~repro.analysis.races.Observation`, with a seeded trunk flap
+  armed so the detector covers the resilience path;
+* :func:`chaos_campaign` — the gray-failure matrix (degrade / flap /
+  lossy / crash-stop / partition) crossed with every multi-path topology;
+* :func:`point_imb_fabric` — the IMB suite run over a fabric world (the
+  ``"imb_fabric"`` lazy kind).
 
 The fault cell (:func:`run_fabric_cell`) arms a
 :class:`~repro.faults.plan.FaultPlan` whose ``fabric`` specs kill named
@@ -131,6 +136,7 @@ def _net_stats(world: FabricWorld) -> dict:
         "chunks_forwarded": net.chunks_forwarded,
         "chunks_dropped": net.chunks_dropped,
         "chunks_rerouted": net.chunks_rerouted,
+        "chunks_retried": net.chunks_retried,
     }
 
 
@@ -202,46 +208,78 @@ def run_fabric_cell(topology: str = "fat_tree2", hosts: int = 16,
                     backend: str = "ioat", algo: str = "auto",
                     cell: int = DEFAULT_CELL, hosts_per_edge: int = 4,
                     kill_at: int = us(50), plan: Optional[dict] = None,
+                    recovery: str = "abort",
                     ecmp_seed: str = "fabric") -> dict:
     """One fabric *fault* cell: run the collective under an armed plan.
 
     ``plan`` is a :meth:`~repro.faults.plan.FaultPlan.to_dict` dict (the
     sweep executor needs JSON params); when None, a spine-kill plan firing
-    at ``kill_at`` is generated from the topology.  The outcome classifies
-    as ``"rerouted"`` (completed over recomputed routes), ``"completed"``
-    (the kill touched no in-flight flow) or ``"failed:<Type>"`` (typed
-    partition error) — byte-identically per seed.
+    at ``kill_at`` is generated from the topology.  ``recovery`` selects the
+    crash-stop policy: ``"abort"`` (default — a rank death surfaces as the
+    typed :class:`~repro.core.errors.RankDead`) or ``"shrink"`` (ring
+    allreduce only — survivors rebuild the ring via
+    :func:`~repro.fabric.resilience.resilient_allreduce`).
+
+    The outcome classifies, byte-identically per seed, as one of:
+
+    * ``"failed:<Type>"`` — a typed transfer error surfaced (abort policy);
+    * ``"shrunk-completed"`` — a rank died and the survivors completed
+      over the shrunk ring (epoch advanced);
+    * ``"degraded-completed"`` — completed while the health layer had
+      demoted at least one gray trunk;
+    * ``"rerouted"`` — completed over recomputed ECMP tables;
+    * ``"completed"`` — the faults touched no in-flight flow.
     """
     from repro.faults.injectors import arm_plan
     from repro.faults.plan import FaultPlan
 
+    if recovery not in ("abort", "shrink"):
+        raise ValueError(f"unknown recovery policy {recovery!r}; "
+                         "expected 'abort' or 'shrink'")
     spec = make_topology(topology, hosts, oversubscription, hosts_per_edge,
                          ecmp_seed)
     fplan = (FaultPlan.from_dict(plan) if plan is not None
              else spine_kill_plan(spec, kill_at))
     world = launch_fabric_world(spec, backend=backend, cell=cell)
     armed = arm_plan(world, fplan)
-    body = collective_body(collective, size, algo)
+    if recovery == "shrink":
+        if collective != "allreduce":
+            raise ValueError("shrink recovery is ring-allreduce only")
+        from repro.fabric.resilience import resilient_allreduce
+
+        def body(rank: FabricRank) -> Generator:
+            sendbuf = rank.space.alloc(size)
+            recvbuf = rank.space.alloc(size)
+            yield from resilient_allreduce(rank, sendbuf, recvbuf)
+    else:
+        body = collective_body(collective, size, algo)
     error: Optional[BaseException] = None
     try:
         world.run_spmd(body, max_events=CELL_MAX_EVENTS)
         world.sim.run()
     except TransferError as exc:
         error = exc
+        world.sim.run()  # drain the declaration wave / stale traffic
     net = world.net
+    res = net.resilience
     if error is not None:
         outcome = f"failed:{type(error).__name__}"
+    elif world.dead and world.epoch:
+        outcome = "shrunk-completed"
+    elif res is not None and res.demotions:
+        outcome = "degraded-completed"
     elif net.chunks_rerouted:
         outcome = "rerouted"
     else:
         outcome = "completed"
-    return {
+    report = {
         "topology": spec.name,
         "hosts": world.size,
         "collective": collective,
         "size": size,
         "backend": backend,
         "plan": fplan.name,
+        "recovery": recovery,
         "fabric_faults_armed": armed.fabric_armed,
         "outcome": outcome,
         "error": type(error).__name__ if error is not None else None,
@@ -249,11 +287,155 @@ def run_fabric_cell(topology: str = "fat_tree2", hosts: int = 16,
         "end_time": world.sim.now,
         "net": _net_stats(world),
     }
+    if res is not None:
+        report["resilience"] = res.snapshot()
+    if world.liveness is not None:
+        report["liveness"] = world.liveness.snapshot()
+    return report
 
 
 def point_fabric_cell(**params) -> dict:
     """Top-level sweep point (the ``"fabric_cell"`` lazy kind)."""
     return run_fabric_cell(**params)
+
+
+# ---------------------------------------------------------------------------
+# chaos campaign: every gray axis crossed with every multi-path topology
+# ---------------------------------------------------------------------------
+
+#: the multi-path topologies the chaos campaign crosses the axes with
+CHAOS_TOPOLOGIES = ("fat_tree2", "fat_tree3", "dragonfly")
+
+
+def chaos_plans(spec: TopologySpec, seed: str) -> list:
+    """The per-topology chaos matrix: ``(axis, FaultPlan, recovery)`` rows.
+
+    One row per failure mode the resilience layer claims to survive —
+    degrade, flap, lossy, crash-stop (abort and shrink policies) — plus
+    the control partition (every uplink of the first edge killed), whose
+    job is to prove the *typed* :class:`FabricPartitioned` still surfaces
+    when no detour exists.  All link choices are sorted-first, so the
+    matrix is a pure function of ``(spec, seed)``.
+    """
+    from repro.faults.plan import (
+        FabricDegradeSpec,
+        FabricFaultSpec,
+        FabricFlapSpec,
+        FabricLossySpec,
+        FaultPlan,
+        RankFaultSpec,
+    )
+
+    trunks = sorted(l.name for l in spec.trunk_links())
+    if not trunks:
+        raise ValueError(f"{spec.name}: chaos needs a multi-path topology")
+    edge = spec.edge_of(spec.hosts[0])
+    uplinks = sorted(l.name for l in spec.trunk_links()
+                     if edge in (l.a, l.b))
+    kill = (RankFaultSpec(rank=1, at=us(30)),)
+    return [
+        ("degrade", FaultPlan(
+            name="chaos-degrade", seed=seed,
+            degrade=(FabricDegradeSpec(link=trunks[0], at=us(5),
+                                       bw_factor=0.1),)), "abort"),
+        ("flap", FaultPlan(
+            name="chaos-flap", seed=seed,
+            flap=(FabricFlapSpec(link=trunks[0], at=us(20), period=us(120),
+                                 duty=0.5, cycles=4),)), "abort"),
+        ("lossy", FaultPlan(
+            name="chaos-lossy", seed=seed,
+            lossy=(FabricLossySpec(link=trunks[0], drop_rate=0.3),)),
+         "abort"),
+        ("rank-abort", FaultPlan(
+            name="chaos-rank-abort", seed=seed, ranks=kill), "abort"),
+        ("rank-shrink", FaultPlan(
+            name="chaos-rank-shrink", seed=seed, ranks=kill), "shrink"),
+        ("partition", FaultPlan(
+            name="chaos-partition", seed=seed,
+            fabric=tuple(FabricFaultSpec(link=n, action="kill", at=us(30))
+                         for n in uplinks)), "abort"),
+    ]
+
+
+def chaos_campaign(topologies=CHAOS_TOPOLOGIES, hosts: int = 8,
+                   oversubscription: float = 2.0,
+                   collective: str = "allreduce", size: int = 32 * KiB,
+                   backend: str = "memcpy", hosts_per_edge: int = 4,
+                   seed: str = "chaos") -> dict:
+    """Run the chaos matrix over every topology; JSON-stable report.
+
+    The acceptance bar: two runs with the same seed are byte-identical,
+    and the outcome set covers every class the resilience layer defines —
+    ``rerouted``, ``degraded-completed``, ``shrunk-completed``, and the
+    typed ``failed:RankDead`` / ``failed:FabricPartitioned``.
+    """
+    cells = []
+    for topology in topologies:
+        spec = make_topology(topology, hosts, oversubscription,
+                             hosts_per_edge, ecmp_seed=seed)
+        for axis, plan, recovery in chaos_plans(spec, seed):
+            cell = run_fabric_cell(
+                topology=topology, hosts=hosts,
+                oversubscription=oversubscription, collective=collective,
+                size=size, backend=backend, hosts_per_edge=hosts_per_edge,
+                plan=plan.to_dict(), recovery=recovery, ecmp_seed=seed)
+            cell["axis"] = axis
+            cells.append(cell)
+    return {
+        "seed": seed,
+        "cells": cells,
+        "outcomes": sorted({c["outcome"] for c in cells}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# IMB over the fabric: the frame-level benchmark suite at chunk scale
+# ---------------------------------------------------------------------------
+
+
+def run_imb_fabric(topology: str = "fat_tree2", hosts: int = 16,
+                   oversubscription: float = 1.0, test: str = "Allreduce",
+                   size: int = 16 * KiB, iterations: int = 4,
+                   warmup: int = 1, backend: str = "memcpy",
+                   cell: int = DEFAULT_CELL, hosts_per_edge: int = 4,
+                   ecmp_seed: str = "fabric") -> dict:
+    """One IMB test over a fabric world (the ``"imb_fabric"`` lazy kind).
+
+    :class:`~repro.fabric.mpi.FabricWorld` satisfies the communicator
+    protocol :func:`repro.imb.harness.run_imb` consumes (``run_spmd`` +
+    ``size``), so the IMB bodies — barrier-timed loops included — run
+    unmodified at fabric scale.  ``Allgatherv`` is the one exclusion: its
+    body needs per-rank variable blocks the fabric rank does not model.
+    """
+    from repro.imb.harness import run_imb
+
+    if test == "Allgatherv":
+        raise ValueError("Allgatherv is not supported over the fabric rank "
+                         "(no variable-block allgather)")
+    spec = make_topology(topology, hosts, oversubscription, hosts_per_edge,
+                         ecmp_seed)
+    world = launch_fabric_world(spec, backend=backend, cell=cell)
+    res = run_imb(world, world, test, size, iterations=iterations,
+                  warmup=warmup, max_events=CELL_MAX_EVENTS)
+    world.finish()
+    return {
+        "topology": spec.name,
+        "kind": topology,
+        "hosts": world.size,
+        "backend": backend,
+        "test": res.test,
+        "size": res.size,
+        "iterations": res.iterations,
+        "t_avg_us": round(res.t_avg_us, 3),
+        "mib_s": round(res.mib_s, 3),
+        "events": world.sim.events_processed,
+        "net": _net_stats(world),
+    }
+
+
+def point_imb_fabric(**params) -> dict:
+    """Top-level sweep point (the ``"imb_fabric"`` lazy kind)."""
+    return run_imb_fabric(**params)
 
 
 # ---------------------------------------------------------------------------
@@ -264,8 +446,13 @@ def point_fabric_cell(**params) -> dict:
 def fabric_scenario(hosts: int = 8, size: int = 8 * KiB,
                     backend: str = "ioat", collective: str = "allreduce",
                     oversubscription: float = 2.0,
-                    algo: str = "auto") -> Callable:
+                    algo: str = "auto", flap: bool = True) -> Callable:
     """A race-detector scenario: one collective on a small 2-tier fat tree.
+
+    With ``flap`` (the default) a seeded flap schedule is armed on the
+    first trunk, so the detector sweeps the whole resilience path — health
+    sampling, hysteretic demotion, suppressed flaps, rerouted chunks —
+    under tie-break shuffles, not just the clean data plane.
 
     The fabric has no per-host trace recorders; the observation is the
     network's full metric snapshot (every port's counters plus the
@@ -279,19 +466,36 @@ def fabric_scenario(hosts: int = 8, size: int = 8 * KiB,
                              hosts_per_edge=max(2, hosts // 2),
                              ecmp_seed="races")
         world = launch_fabric_world(spec, backend=backend)
+        if flap:
+            from repro.faults.injectors import arm_plan
+            from repro.faults.plan import FabricFlapSpec, FaultPlan
+
+            trunk = sorted(l.name for l in spec.trunk_links())[0]
+            arm_plan(world, FaultPlan(
+                name="races-flap", seed="races",
+                flap=(FabricFlapSpec(link=trunk, at=us(20), period=us(120),
+                                     duty=0.5, cycles=3),)))
         schedule = world.sim.record_schedule()
         body = collective_body(collective, size, algo)
         world.run_spmd(body, max_events=CELL_MAX_EVENTS)
         world.finish()
+        res = world.net.resilience
+        outcomes = {"cell": "completed",
+                    "cpu": ",".join(f"{k}={world.cpu[k]}"
+                                    for k in sorted(world.cpu))}
+        if res is not None:
+            snap = res.snapshot()
+            outcomes["resilience"] = ",".join(
+                f"{k}={snap[k]}" for k in ("reroutes", "demotions",
+                                           "restorations", "flaps_suppressed",
+                                           "route_version"))
         return Observation(
             counters={"fabric": world.net.metrics.snapshot()},
             digests={},
             end_time=world.sim.now,
             pushes=world.sim._seq,
             schedule=schedule,
-            outcomes={"cell": "completed",
-                      "cpu": ",".join(f"{k}={world.cpu[k]}"
-                                      for k in sorted(world.cpu))},
+            outcomes=outcomes,
         )
 
     return scenario

@@ -32,19 +32,29 @@ from repro.faults.campaign import (
     run_cell,
     write_report,
 )
-from repro.faults.injectors import ArmedPlan, arm_plan
+from repro.faults.injectors import ArmedPlan, NoTrunksError, arm_plan
 from repro.faults.plan import (
+    FabricDegradeSpec,
+    FabricFaultSpec,
+    FabricFlapSpec,
+    FabricLossySpec,
     FaultPlan,
     IoatFaultSpec,
     LinkFaultSpec,
     NicFaultSpec,
+    RankFaultSpec,
     SwitchFaultSpec,
+    flap_windows,
     soak_plans,
     standard_plans,
 )
 from repro.faults.soak import (
+    FabricSoakSpec,
     LivelockError,
     SoakSpec,
+    fabric_soak_suite,
+    run_fabric_soak,
+    run_fabric_soak_suite,
     run_soak,
     run_soak_suite,
     soak_suite,
@@ -53,17 +63,28 @@ from repro.faults.soak import (
 __all__ = [
     "ArmedPlan",
     "CampaignSpec",
+    "FabricDegradeSpec",
+    "FabricFaultSpec",
+    "FabricFlapSpec",
+    "FabricLossySpec",
+    "FabricSoakSpec",
     "FaultPlan",
     "IoatFaultSpec",
     "LinkFaultSpec",
     "LivelockError",
     "NicFaultSpec",
+    "NoTrunksError",
+    "RankFaultSpec",
     "SoakSpec",
     "SwitchFaultSpec",
     "arm_plan",
+    "fabric_soak_suite",
+    "flap_windows",
     "quick_campaign_spec",
     "run_campaign",
     "run_cell",
+    "run_fabric_soak",
+    "run_fabric_soak_suite",
     "run_soak",
     "run_soak_suite",
     "soak_plans",

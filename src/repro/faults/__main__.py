@@ -75,11 +75,29 @@ def _soak_main(args) -> int:
             "DIRTY" if run["sanitizer"] else "clean",
         )
     print(t.render())
+    fabric = report.get("fabric")
+    if fabric is not None:
+        ft = Table(f"fabric soak (seed={seed!r})",
+                   ["run", "topology", "delivered", "failed", "retried",
+                    "reroutes", "flaps supp.", "dead", "epoch", "sanitizer"])
+        for run in fabric["runs"]:
+            res = run.get("resilience", {})
+            ft.add_row(
+                run["soak"], run["topology"],
+                run["net"]["msgs_delivered"], run["net"]["msgs_failed"],
+                run["net"]["chunks_retried"],
+                res.get("reroutes", 0), res.get("flaps_suppressed", 0),
+                len(run["dead_ranks"]), run["epoch"],
+                "DIRTY" if run["sanitizer"] else "clean",
+            )
+        print(ft.render())
     totals = report["totals"]
     print(f"report: {path}")
     print(f"totals: {totals['completed']} completed, {totals['failed']} "
           f"failed (typed), {totals['hung']} hung")
     bad = totals["hung"] or report["sanitizer_dirty_runs"]
+    if fabric is not None and fabric["sanitizer_dirty_runs"]:
+        bad = True
     return 1 if bad else 0
 
 

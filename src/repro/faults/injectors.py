@@ -25,11 +25,39 @@ import random
 from typing import TYPE_CHECKING, Optional
 
 from repro.ethernet.link import DELIVER, FrameVerdict
-from repro.faults.plan import FaultPlan, LinkFaultSpec
+from repro.faults.plan import (
+    FabricDegradeSpec,
+    FabricFlapSpec,
+    FabricLossySpec,
+    FaultPlan,
+    LinkFaultSpec,
+    flap_windows,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.testbed import Testbed
     from repro.ethernet.frame import EthernetFrame
+
+
+class NoTrunksError(ValueError):
+    """A fabric fault axis targeted a topology with no trunk links.
+
+    The gray-failure and kill/revive axes express *reroute* semantics —
+    demote or cut a trunk and let ECMP find another path — which are
+    meaningless on the pair/star degenerate topologies, where every link
+    is a single-homed access link.  Arming used to accept these plans
+    silently; now the offending link names are part of the error.
+    """
+
+    def __init__(self, links, topology: str = ""):
+        self.links = tuple(links)
+        self.topology = topology
+        where = f" in topology {topology!r}" if topology else ""
+        super().__init__(
+            f"fabric fault axis targets link(s) {list(self.links)}{where}, "
+            "but the topology has no trunks (pair/star degenerate spec) — "
+            "reroute semantics need a switch-to-switch link to act on"
+        )
 
 
 class RandomFrameFaults:
@@ -120,6 +148,82 @@ class SwitchEgressFault:
         return sum(g.hits for g in self._gates.values())
 
 
+class ChunkLossFault:
+    """Seeded per-chunk drop decisions for one fabric port (lossy link).
+
+    One RNG draw per in-window chunk; arbitration batches are sorted, so
+    the per-port draw order — and therefore which chunks die — is a pure
+    function of (seed, offered traffic), byte-identical under ``--races``.
+    """
+
+    def __init__(self, spec: FabricLossySpec, seed: str):
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.drops = 0
+
+    def __call__(self, chunk, now: int) -> bool:
+        spec = self.spec
+        if now < spec.at or (spec.until is not None and now >= spec.until):
+            return False
+        if self.rng.random() < spec.drop_rate:
+            self.drops += 1
+            return True
+        return False
+
+
+class GrayFrameFaults:
+    """Gray-failure frame hook for one full-hardware trunk direction.
+
+    Implements the link layer's ``FrameFaultHook`` for the degrade / flap
+    / lossy axes: a flap's down-windows drop every frame (the PHY is
+    down), a lossy window makes one seeded draw per frame, and a degrade
+    window delays each frame by the extra serialization time of the
+    renegotiated rate plus the configured added latency.
+    """
+
+    def __init__(self, seed: str, link_bw: float,
+                 degrade: tuple = (), lossy: tuple = (),
+                 down_windows: tuple = ()):
+        self.rng = random.Random(seed)
+        self.link_bw = link_bw
+        self.degrade = degrade
+        self.lossy = lossy
+        self.down_windows = down_windows
+        self.flap_drops = 0
+        self.lossy_drops = 0
+        self.delayed = 0
+
+    def on_frame(self, frame: "EthernetFrame", index: int,
+                 now: int) -> FrameVerdict:
+        for start, stop in self.down_windows:
+            if start <= now < stop:
+                self.flap_drops += 1
+                return FrameVerdict(deliver=False)
+        for spec in self.lossy:
+            if now < spec.at or (spec.until is not None
+                                 and now >= spec.until):
+                continue
+            if self.rng.random() < spec.drop_rate:
+                self.lossy_drops += 1
+                return FrameVerdict(deliver=False)
+        for spec in self.degrade:
+            if now < spec.at or (spec.until is not None
+                                 and now >= spec.until):
+                continue
+            slow = frame.serialization_time(self.link_bw * spec.bw_factor)
+            fast = frame.serialization_time(self.link_bw)
+            self.delayed += 1
+            return FrameVerdict(delay=spec.extra_latency + (slow - fast))
+        return DELIVER
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "gray_flap_drops": self.flap_drops,
+            "gray_lossy_drops": self.lossy_drops,
+            "gray_delayed": self.delayed,
+        }
+
+
 class ArmedPlan:
     """A plan wired into one live testbed; aggregates injected-fault counts."""
 
@@ -130,6 +234,9 @@ class ArmedPlan:
         self.switch_fault: Optional[SwitchEgressFault] = None
         self.ioat_armed = 0
         self.fabric_armed = 0
+        self.chunk_hooks: list[ChunkLossFault] = []
+        self.gray_hooks: list[GrayFrameFaults] = []
+        self.ranks_armed = 0
 
     def counters(self) -> dict[str, int]:
         c = {
@@ -147,6 +254,17 @@ class ArmedPlan:
         )
         c["ioat_faults_armed"] = self.ioat_armed
         c["fabric_faults_armed"] = self.fabric_armed
+        if self.chunk_hooks:
+            c["fabric_chunk_drops"] = sum(h.drops for h in self.chunk_hooks)
+        if self.gray_hooks:
+            g = {"gray_flap_drops": 0, "gray_lossy_drops": 0,
+                 "gray_delayed": 0}
+            for hook in self.gray_hooks:
+                for key, val in hook.counters().items():
+                    g[key] += val
+            c.update(g)
+        if self.ranks_armed:
+            c["rank_faults_armed"] = self.ranks_armed
         return c
 
 
@@ -221,15 +339,126 @@ def arm_plan(tb: "Testbed", plan: FaultPlan) -> ArmedPlan:
                 )
             armed.ioat_armed += 1
 
-    if plan.fabric:
+    if plan.fabric_axes():
         net = getattr(tb, "net", None)
-        if net is None:
+        trunks = getattr(tb, "trunks", None)
+        if net is not None:
+            _arm_fabric_axes(net, plan, armed)
+        elif trunks is not None:
+            _arm_hardware_gray(tb, trunks, plan, armed)
+        else:
             raise ValueError("fabric fault plan on a non-fabric testbed")
-        for spec in plan.fabric:
-            net.spec.link_named(spec.link)  # raises on an unknown name
-            if spec.action == "kill":
-                net.kill_link(spec.link, at=spec.at)
-            else:
-                net.revive_link(spec.link, at=spec.at)
-            armed.fabric_armed += 1
+
+    if plan.ranks:
+        kill_rank = getattr(tb, "kill_rank", None)
+        if kill_rank is None:
+            raise ValueError(
+                "rank fault plan requires a fabric world (FabricWorld); "
+                "hardware testbeds have no crash-stoppable ranks")
+        for spec in plan.ranks:
+            if spec.rank >= tb.size:
+                raise ValueError(
+                    f"rank fault targets rank {spec.rank} in a "
+                    f"{tb.size}-rank world")
+            kill_rank(spec.rank, at=spec.at)
+            armed.ranks_armed += 1
     return armed
+
+
+def _require_trunks(plan: FaultPlan, trunk_names: set, topology: str) -> None:
+    targeted = sorted({s.link for s in plan.fabric_axes()})
+    if targeted and not trunk_names:
+        raise NoTrunksError(targeted, topology)
+
+
+def _arm_fabric_axes(net, plan: FaultPlan, armed: ArmedPlan) -> None:
+    """Kill/revive plus the gray axes on a chunk-level FabricNetwork."""
+    _require_trunks(plan, {l.name for l in net.spec.trunk_links()},
+                    net.spec.name)
+    for spec in plan.fabric:
+        net.spec.link_named(spec.link)  # raises on an unknown name
+        if spec.action == "kill":
+            net.kill_link(spec.link, at=spec.at)
+        else:
+            net.revive_link(spec.link, at=spec.at)
+        armed.fabric_armed += 1
+    for spec in plan.degrade:
+        net.degrade_link(spec.link, spec.bw_factor, spec.extra_latency,
+                         at=spec.at, until=spec.until)
+        armed.fabric_armed += 1
+    for spec in plan.flap:
+        net.spec.link_named(spec.link)
+        for start, end in flap_windows(spec, plan.seed):
+            net.kill_link(spec.link, at=start)
+            net.revive_link(spec.link, at=end)
+        armed.fabric_armed += 1
+    for spec in plan.lossy:
+        for port in net.ports_of_link(spec.link):
+            hook = ChunkLossFault(
+                spec, f"{plan.seed}:{plan.name}:lossy:{port.name}")
+            port.fault = hook
+            armed.chunk_hooks.append(hook)
+        armed.fabric_armed += 1
+    gray = plan.degrade + plan.flap + plan.lossy
+    if gray:
+        _watch_gray_links(net, plan, gray)
+
+
+def _watch_gray_links(net, plan: FaultPlan, gray) -> None:
+    """Attach (if absent) and point the resilience layer at the gray links.
+
+    The watch horizon covers every armed window plus one hold-down, so
+    the hysteresis sees the whole episode and the sampling daemons still
+    self-terminate once the network quiesces.
+    """
+    from repro.fabric.resilience import FabricResilience
+
+    res = net.resilience
+    if res is None:
+        res = FabricResilience(net, seed=plan.seed)
+    horizon = 0
+    for spec in gray:
+        if isinstance(spec, FabricFlapSpec):
+            end = spec.at + spec.cycles * spec.period
+        else:
+            end = spec.until if spec.until is not None else spec.at
+        horizon = max(horizon, end)
+    res.watch(sorted({s.link for s in gray}),
+              horizon + res.params.hold_down)
+
+
+def _arm_hardware_gray(tb, trunks: dict, plan: FaultPlan,
+                       armed: ArmedPlan) -> None:
+    """Gray axes on full-hardware EthernetSwitch trunks (frame hooks)."""
+    if plan.fabric:
+        raise ValueError(
+            "fabric kill/revive requires a chunk-level fabric world; "
+            "full-hardware testbeds only support the gray axes")
+    _require_trunks(plan, set(trunks), getattr(tb, "topology", None)
+                    and tb.topology.name or "")
+    by_link: dict[str, dict] = {}
+    for spec in plan.degrade + plan.flap + plan.lossy:
+        if spec.link not in trunks:
+            raise KeyError(f"no trunk link {spec.link!r} in this testbed")
+        axes = by_link.setdefault(
+            spec.link, {"degrade": [], "lossy": [], "down": []})
+        if isinstance(spec, FabricDegradeSpec):
+            axes["degrade"].append(spec)
+        elif isinstance(spec, FabricLossySpec):
+            axes["lossy"].append(spec)
+        else:
+            axes["down"].extend(flap_windows(spec, plan.seed))
+        armed.fabric_armed += 1
+    for name in sorted(by_link):
+        link = trunks[name]
+        axes = by_link[name]
+        for a2b in (True, False):
+            hook = GrayFrameFaults(
+                f"{plan.seed}:{plan.name}:gray:{name}:{'ab' if a2b else 'ba'}",
+                link.bw,
+                degrade=tuple(axes["degrade"]),
+                lossy=tuple(axes["lossy"]),
+                down_windows=tuple(sorted(axes["down"])),
+            )
+            link.inject_fault(a2b, hook)
+            armed.gray_hooks.append(hook)

@@ -14,6 +14,7 @@ campaign's bit-identical-report check rests on.
 
 from __future__ import annotations
 
+import random
 from dataclasses import asdict, dataclass
 from typing import Optional
 
@@ -111,6 +112,113 @@ class FabricFaultSpec:
 
 
 @dataclass(frozen=True)
+class FabricDegradeSpec:
+    """Gray failure: one named link slows down instead of dying.
+
+    From ``at`` (until ``until``, or forever when None) the link serializes
+    at ``bw_factor`` of its spec'd bandwidth and adds ``extra_latency``
+    ticks of propagation per chunk/frame.  Nothing is dropped — this is the
+    failure mode that never shows up in a binary kill matrix, and exactly
+    what the per-link health estimator scores DEGRADED from occupancy.
+    """
+
+    link: str
+    at: int = 0
+    #: effective-bandwidth multiplier (0 < bw_factor <= 1)
+    bw_factor: float = 0.25
+    #: extra per-hop propagation delay (ticks)
+    extra_latency: int = 0
+    until: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bw_factor <= 1.0:
+            raise ValueError(f"bw_factor must be in (0, 1], got {self.bw_factor}")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class FabricFlapSpec:
+    """Seeded up/down duty cycle on one named link.
+
+    The link dies at each down-edge and revives at each up-edge, for
+    ``cycles`` cycles of ``period`` ticks starting at ``at``; the link is
+    *up* for ``duty`` of each cycle.  ``jitter`` perturbs each edge by up to
+    that fraction of the period, drawn from ``random.Random`` seeded with
+    the plan seed and the link name — the schedule is pure data (see
+    :func:`flap_windows`) so two runs flap identically.
+    """
+
+    link: str
+    at: int = us(50)
+    period: int = us(400)
+    duty: float = 0.5
+    cycles: int = 3
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.cycles < 1:
+            raise ValueError("flap needs a positive period and >= 1 cycle")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {self.duty}")
+        if not 0.0 <= self.jitter < 0.5:
+            raise ValueError(f"jitter must be in [0, 0.5), got {self.jitter}")
+
+
+@dataclass(frozen=True)
+class FabricLossySpec:
+    """Per-chunk (or per-frame) drop probability on one named link."""
+
+    link: str
+    drop_rate: float = 0.05
+    at: int = 0
+    until: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in (0, 1], got {self.drop_rate}")
+
+
+@dataclass(frozen=True)
+class RankFaultSpec:
+    """Crash-stop: kill one fabric rank (by index) at absolute time ``at``.
+
+    The rank's process is terminated mid-collective; a grace window later
+    the fabric liveness layer declares it dead and fails every survivor's
+    pending request with :class:`~repro.core.errors.RankDead`.
+    """
+
+    rank: int
+    at: int = us(100)
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+
+
+def flap_windows(spec: FabricFlapSpec, seed: str) -> tuple:
+    """The (down_start, down_end) tick windows of one flap schedule.
+
+    A pure function of (spec, seed): the RNG is seeded from the plan seed
+    and the link name only, so arming the same plan twice — or replaying
+    it under a shuffled tie-break — yields the identical schedule.
+    """
+    rng = random.Random(f"{seed}:flap:{spec.link}")
+    windows = []
+    up = int(spec.period * spec.duty)
+    for cycle in range(spec.cycles):
+        start = spec.at + cycle * spec.period + up
+        end = spec.at + (cycle + 1) * spec.period
+        if spec.jitter:
+            span = int(spec.period * spec.jitter)
+            start += rng.randrange(-span, span + 1)
+            end += rng.randrange(-span, span + 1)
+        if end > start >= 0:
+            windows.append((start, end))
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One named, seeded composition of fault specs across the layers."""
 
@@ -121,12 +229,23 @@ class FaultPlan:
     switches: tuple = ()
     ioat: tuple = ()
     fabric: tuple = ()
+    #: gray-failure fabric axes (degrade / flap / lossy named links)
+    degrade: tuple = ()
+    flap: tuple = ()
+    lossy: tuple = ()
+    #: crash-stop rank failures (fabric worlds only)
+    ranks: tuple = ()
+
+    def fabric_axes(self) -> tuple:
+        """Every spec that names a fabric link, across all four link axes."""
+        return self.fabric + self.degrade + self.flap + self.lossy
 
     # -- JSON round-trip -------------------------------------------------
 
     def to_dict(self) -> dict:
         d = asdict(self)
-        for key in ("links", "nics", "switches", "ioat", "fabric"):
+        for key in ("links", "nics", "switches", "ioat", "fabric",
+                    "degrade", "flap", "lossy", "ranks"):
             d[key] = list(d[key])
         return d
 
@@ -149,6 +268,10 @@ class FaultPlan:
             switches=tup(SwitchFaultSpec, d.get("switches", ())),
             ioat=tup(IoatFaultSpec, d.get("ioat", ())),
             fabric=tup(FabricFaultSpec, d.get("fabric", ())),
+            degrade=tup(FabricDegradeSpec, d.get("degrade", ())),
+            flap=tup(FabricFlapSpec, d.get("flap", ())),
+            lossy=tup(FabricLossySpec, d.get("lossy", ())),
+            ranks=tup(RankFaultSpec, d.get("ranks", ())),
         )
 
 

@@ -26,6 +26,12 @@ The stock suite (:func:`soak_suite`) pairs each plan from
 circuit breakers trip and re-open), ``link-flap`` under pingpong
 (retransmission and backoff decay), ``incast-burst`` under switched
 fan-in (receive backpressure).
+
+The fabric soak (:func:`run_fabric_soak_suite`, DESIGN.md §17) applies the
+same discipline at chunk scale: chained flap + degrade + lossy (+ crash-
+stop) arcs over a 3-tier fat tree, shrink-capable allreduces as the
+workload, and a checkpoint daemon over the fabric's flow counters whose
+no-progress trip is the livelock detector.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from dataclasses import dataclass, replace
 
 from repro.faults.injectors import arm_plan
 from repro.faults.plan import FaultPlan, soak_plans
-from repro.units import KiB, ms
+from repro.units import KiB, ms, us
 
 #: simulated-time horizon per soak run; generous — runs end early once
 #: every transfer is terminal and the demand-armed daemons disarm
@@ -226,9 +232,15 @@ def run_soak(spec: SoakSpec, trace: bool = False) -> dict:
 
 
 def run_soak_suite(seed: str = "soak", iters: int = 6,
-                   deadline: int = SOAK_DEADLINE) -> dict:
+                   deadline: int = SOAK_DEADLINE,
+                   fabric: bool = True) -> dict:
     """Run the whole stock suite under one seed; aggregates like a
-    campaign report.  Byte-identical per seed (sorted-keys JSON)."""
+    campaign report.  Byte-identical per seed (sorted-keys JSON).
+
+    With ``fabric`` (the default) the chunk-level fabric soak suite
+    (:func:`run_fabric_soak_suite`) rides along as a separate ``"fabric"``
+    section — same seed, same determinism contract.
+    """
     runs = []
     totals = {"completed": 0, "failed": 0, "hung": 0}
     dirty = []
@@ -241,11 +253,222 @@ def run_soak_suite(seed: str = "soak", iters: int = 6,
             totals[key] += report["outcomes"][key]
         if report["sanitizer"]:
             dirty.append(spec.name)
-    return {
+    out = {
         "seed": seed,
         "iters": iters,
         "runs": runs,
         "totals": totals,
+        "sanitizer_dirty_runs": dirty,
+    }
+    if fabric:
+        out["fabric"] = run_fabric_soak_suite(seed)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# fabric soak: gray churn over a 3-tier fat tree (DESIGN.md §17)
+# ---------------------------------------------------------------------------
+
+#: checkpoint cadence of the fabric soak (simulated ticks); fabric runs
+#: resolve in hundreds of microseconds, not milliseconds
+FABRIC_CHECKPOINT_INTERVAL = us(25)
+
+#: consecutive no-progress checkpoints before declaring a fabric livelock
+FABRIC_STALL_LIMIT = 20
+
+#: event budget per fabric soak run
+FABRIC_SOAK_MAX_EVENTS = 20_000_000
+
+
+@dataclass(frozen=True)
+class FabricSoakSpec:
+    """One fabric soak run: repeated shrink-capable allreduces through a
+    chained gray-failure plan over a multi-path topology."""
+
+    name: str
+    plan: FaultPlan
+    topology: str = "fat_tree3"
+    hosts: int = 16
+    size: int = 32 * KiB
+    rounds: int = 4
+    oversubscription: float = 2.0
+    checkpoint_interval: int = FABRIC_CHECKPOINT_INTERVAL
+    stall_limit: int = FABRIC_STALL_LIMIT
+    max_events: int = FABRIC_SOAK_MAX_EVENTS
+
+
+def fabric_soak_suite(seed: str = "soak") -> list[FabricSoakSpec]:
+    """The fabric soak library: chained gray arcs over a 3-tier fat tree.
+
+    ``gray-churn`` chains a flapping trunk, a bandwidth-degraded trunk and
+    a lossy trunk — the health layer must demote, suppress the flap, and
+    retry chunk losses, all at once.  ``gray-crash`` adds a crash-stopped
+    rank mid-run, so the shrink-and-retry ring recovers *while* the route
+    tables are churning.  Link choices are sorted-first over the spec's
+    trunks, so each plan is a pure function of (topology, seed).
+    """
+    from repro.fabric.sweep import make_topology
+    from repro.faults.plan import (
+        FabricDegradeSpec,
+        FabricFlapSpec,
+        FabricLossySpec,
+        RankFaultSpec,
+    )
+
+    spec = make_topology("fat_tree3", 16, 2.0, 4, ecmp_seed=seed)
+    trunks = sorted(l.name for l in spec.trunk_links())
+    gray = dict(
+        flap=(FabricFlapSpec(link=trunks[0], at=us(20), period=us(200),
+                             duty=0.5, cycles=5),),
+        degrade=(FabricDegradeSpec(link=trunks[1], at=us(40), bw_factor=0.2,
+                                   until=us(700)),),
+        lossy=(FabricLossySpec(link=trunks[2], drop_rate=0.1, at=us(10),
+                               until=us(800)),),
+    )
+    return [
+        FabricSoakSpec(name="gray-churn",
+                       plan=FaultPlan(name="gray-churn", seed=seed, **gray)),
+        FabricSoakSpec(name="gray-crash",
+                       plan=FaultPlan(name="gray-crash", seed=seed,
+                                      ranks=(RankFaultSpec(rank=2,
+                                                           at=us(120)),),
+                                      **gray)),
+    ]
+
+
+def _fabric_checkpoint_daemon(world, spec: FabricSoakSpec, state: dict,
+                              checkpoints: list) -> None:
+    """Progress sampling over the fabric's flow counters.
+
+    Progress means a message reached a terminal state (delivered or
+    failed) or a chunk moved (forwarded or retried); ``stall_limit``
+    checkpoints without any of that while work is still open is a
+    livelock — the resilience layer's whole drain argument (declaration
+    waves, retry caps, breaker hold-downs) bounds every stall well under
+    that budget.  Self-terminates once every surviving body finished and
+    the network quiesced."""
+    net = world.net
+    stalled = {"count": 0, "terminal": -1, "moved": -1}
+
+    def proc():
+        while True:
+            yield spec.checkpoint_interval
+            open_msgs = (net.msgs_sent - net.msgs_delivered
+                         - net.msgs_failed)
+            terminal = net.msgs_delivered + net.msgs_failed
+            moved = net.chunks_forwarded + net.chunks_retried
+            res = net.resilience
+            checkpoints.append({
+                "t": world.sim.now,
+                "open_msgs": open_msgs,
+                "terminal": terminal,
+                "forwarded": net.chunks_forwarded,
+                "retried": net.chunks_retried,
+                "rerouted": net.chunks_rerouted,
+                "reroutes": res.reroutes if res is not None else 0,
+                "flaps_suppressed": (res.flaps_suppressed
+                                     if res is not None else 0),
+                "dead_ranks": len(world.dead),
+            })
+            if state["open_bodies"] <= len(world.dead) and open_msgs == 0:
+                return
+            if terminal == stalled["terminal"] and moved == stalled["moved"]:
+                stalled["count"] += 1
+                if stalled["count"] >= spec.stall_limit:
+                    raise LivelockError(
+                        f"fabric soak {spec.name!r}: no message terminated "
+                        f"and no chunk moved across {stalled['count']} "
+                        f"checkpoints ({open_msgs} open msgs, "
+                        f"{state['open_bodies']} bodies at "
+                        f"t={world.sim.now})")
+            else:
+                stalled["count"] = 0
+                stalled["terminal"] = terminal
+                stalled["moved"] = moved
+
+    world.sim.daemon(proc(), name=f"fabric-soak-checkpoint-{spec.name}")
+
+
+def run_fabric_soak(spec: FabricSoakSpec) -> dict:
+    """Run one fabric soak to quiescence; returns its JSON-able report.
+
+    The workload is ``rounds`` back-to-back shrink-capable allreduces
+    (:func:`~repro.fabric.resilience.resilient_allreduce`), so a
+    crash-stop mid-arc shrinks the ring and the remaining rounds run over
+    the survivors.  Byte-identical per seed.
+    """
+    from repro.fabric.mpi import launch_fabric_world
+    from repro.fabric.resilience import resilient_allreduce
+    from repro.fabric.sweep import make_topology
+
+    topo = make_topology(spec.topology, spec.hosts, spec.oversubscription,
+                         4, ecmp_seed=spec.plan.seed)
+    world = launch_fabric_world(topo, backend="memcpy")
+    armed = arm_plan(world, spec.plan)
+    state = {"open_bodies": world.size}
+    checkpoints: list[dict] = []
+    _fabric_checkpoint_daemon(world, spec, state, checkpoints)
+
+    def body(rank):
+        for _ in range(spec.rounds):
+            sendbuf = rank.space.alloc(spec.size)
+            recvbuf = rank.space.alloc(spec.size)
+            yield from resilient_allreduce(rank, sendbuf, recvbuf)
+        state["open_bodies"] -= 1
+
+    sanitizer: list[str] = []
+    world.run_spmd(body, max_events=spec.max_events)
+    try:
+        world.finish()
+    except AssertionError as exc:
+        sanitizer.append(str(exc))
+    net = world.net
+    res = net.resilience
+    report = {
+        "soak": spec.name,
+        "topology": topo.name,
+        "hosts": world.size,
+        "size": spec.size,
+        "rounds": spec.rounds,
+        "plan": spec.plan.name,
+        "seed": spec.plan.seed,
+        "survivors": world.survivors(),
+        "dead_ranks": sorted(world.dead),
+        "epoch": world.epoch,
+        "stale_drained": world.stale_drained,
+        "injected": armed.counters(),
+        "checkpoints": checkpoints,
+        "net": {
+            "msgs_sent": net.msgs_sent,
+            "msgs_delivered": net.msgs_delivered,
+            "msgs_failed": net.msgs_failed,
+            "chunks_forwarded": net.chunks_forwarded,
+            "chunks_dropped": net.chunks_dropped,
+            "chunks_rerouted": net.chunks_rerouted,
+            "chunks_retried": net.chunks_retried,
+        },
+        "sanitizer": sanitizer,
+        "end_time": world.sim.now,
+    }
+    if res is not None:
+        report["resilience"] = res.snapshot()
+    if world.liveness is not None:
+        report["liveness"] = world.liveness.snapshot()
+    return report
+
+
+def run_fabric_soak_suite(seed: str = "soak") -> dict:
+    """Run the fabric soak library under one seed; byte-identical JSON."""
+    runs = []
+    dirty = []
+    for spec in fabric_soak_suite(seed):
+        report = run_fabric_soak(spec)
+        runs.append(report)
+        if report["sanitizer"]:
+            dirty.append(spec.name)
+    return {
+        "seed": seed,
+        "runs": runs,
         "sanitizer_dirty_runs": dirty,
     }
 

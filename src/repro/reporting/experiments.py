@@ -442,6 +442,14 @@ def fabric_sweep(quick: bool = False,
         for coll, hosts, os_, size in grid
         for backend in ("memcpy", "ioat")
     ]
+    # IMB smoke over the fabric: the frame-level benchmark harness run
+    # unmodified at chunk scale (one Allreduce cell per backend).
+    points += [
+        point("imb_fabric", topology="fat_tree2", hosts=16,
+              oversubscription=2.0, test="Allreduce", size=16 * KiB,
+              backend=backend)
+        for backend in ("memcpy", "ioat")
+    ]
     values = _executor(executor).run(points)
     write_report({"cells": values}, "results/fabric_sweep.json")
 
@@ -457,6 +465,11 @@ def fabric_sweep(quick: bool = False,
             cell = next(it)
             t.add_row(coll, cell["hosts"], f"{os_:g}", _sz(size), backend,
                       cell["time_ns"] // 1000, cell["mib_s"], cell["events"])
+    for backend in ("memcpy", "ioat"):
+        cell = next(it)
+        t.add_row(f'imb:{cell["test"]}', cell["hosts"], "2",
+                  _sz(cell["size"]), backend, round(cell["t_avg_us"]),
+                  cell["mib_s"], cell["events"])
     return t
 
 

@@ -202,6 +202,7 @@ LAZY_POINT_KINDS: dict[str, str] = {
     "vectored": "repro.workloads.vectored:point_vectored",
     "fabric": "repro.fabric.sweep:point_fabric",
     "fabric_cell": "repro.fabric.sweep:point_fabric_cell",
+    "imb_fabric": "repro.fabric.sweep:point_imb_fabric",
 }
 
 

@@ -279,6 +279,34 @@ GOLDENS = [
             rng = random.Random(42)
             yield sim.timeout(rng.randrange(1, 10))
     """, set()),
+    ("fab001_demote_call", """
+        def punish(routes, link):
+            routes.demote_link(link)
+    """, {"FAB001"}),
+    ("fab001_kill_via_attr_chain", """
+        def sever(world, link):
+            world.net.kill_link(link)
+    """, {"FAB001"}),
+    ("fab001_degrade_call", """
+        def slow_down(net):
+            net.degrade_link("s0-s1", bw_factor=0.5)
+    """, {"FAB001"}),
+    ("fab001_port_state_write", """
+        def throttle(port):
+            port.service_scale = 4.0
+    """, {"FAB001"}),
+    ("fab001_port_delay_augassign", """
+        def lag(port, extra):
+            port.extra_delay += extra
+    """, {"FAB001"}),
+    ("fab001_read_only_ok", """
+        def is_slow(port):
+            return port.service_scale != 1.0 or port.extra_delay
+    """, set()),
+    ("fab001_unrelated_restore_name_ok", """
+        def restore(backup):
+            backup.restore()
+    """, set()),
 ]
 
 
@@ -319,6 +347,18 @@ def test_off001_sanctioned_paths_skipped():
                  "src/repro/health/breaker.py",
                  "src/repro/faults/injectors.py",
                  "src/repro/analysis/sanitizers.py"):
+        assert lint_source(src, path) == []
+
+
+def test_fab001_sanctioned_paths_skipped():
+    """The routing tables, the resilience breaker, the network's own timed
+    legs and the fault injectors own the route/link mutation surface."""
+    src = "def sever(net, link):\n    net.kill_link(link)\n"
+    assert {f.code for f in lint_source(src, "src/repro/fabric/sweep.py")} == {"FAB001"}
+    for path in ("src/repro/fabric/routing.py",
+                 "src/repro/fabric/resilience.py",
+                 "src/repro/fabric/network.py",
+                 "src/repro/faults/injectors.py"):
         assert lint_source(src, path) == []
 
 
